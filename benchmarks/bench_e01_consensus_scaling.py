@@ -1,0 +1,13 @@
+"""Benchmark E1: Theorem 1 consensus-time scaling in n (loglog growth-law fit).
+
+Regenerates the E1 experiment table (DESIGN.md section 3) in quick mode
+and asserts its SHAPE MATCH verdict; wall time is the reported metric.
+Run the full-size sweep via ``python -m repro.harness.report --full``.
+"""
+
+from conftest import run_and_check
+
+
+def test_e01_consensus_scaling(benchmark):
+    result = run_and_check("E1", benchmark)
+    assert result.experiment_id == "E1"

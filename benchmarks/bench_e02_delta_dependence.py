@@ -1,0 +1,13 @@
+"""Benchmark E2: Theorem 1 additive O(log 1/delta) dependence at fixed n.
+
+Regenerates the E2 experiment table (DESIGN.md section 3) in quick mode
+and asserts its SHAPE MATCH verdict; wall time is the reported metric.
+Run the full-size sweep via ``python -m repro.harness.report --full``.
+"""
+
+from conftest import run_and_check
+
+
+def test_e02_delta_dependence(benchmark):
+    result = run_and_check("E2", benchmark)
+    assert result.experiment_id == "E2"

@@ -1,0 +1,13 @@
+"""Benchmark E3: equation (1) recursion vs measured blue-fraction trajectory.
+
+Regenerates the E3 experiment table (DESIGN.md section 3) in quick mode
+and asserts its SHAPE MATCH verdict; wall time is the reported metric.
+Run the full-size sweep via ``python -m repro.harness.report --full``.
+"""
+
+from conftest import run_and_check
+
+
+def test_e03_recursion_tracking(benchmark):
+    result = run_and_check("E3", benchmark)
+    assert result.experiment_id == "E3"

@@ -1,0 +1,13 @@
+"""Benchmark E4: Proposition 3 / equation (2) sprinkled majorant over DAG ensembles.
+
+Regenerates the E4 experiment table (DESIGN.md section 3) in quick mode
+and asserts its SHAPE MATCH verdict; wall time is the reported metric.
+Run the full-size sweep via ``python -m repro.harness.report --full``.
+"""
+
+from conftest import run_and_check
+
+
+def test_e04_sprinkling_majorization(benchmark):
+    result = run_and_check("E4", benchmark)
+    assert result.experiment_id == "E4"

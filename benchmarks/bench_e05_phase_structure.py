@@ -1,0 +1,13 @@
+"""Benchmark E5: Lemma 4 phase lengths across the (d, delta) grid.
+
+Regenerates the E5 experiment table (DESIGN.md section 3) in quick mode
+and asserts its SHAPE MATCH verdict; wall time is the reported metric.
+Run the full-size sweep via ``python -m repro.harness.report --full``.
+"""
+
+from conftest import run_and_check
+
+
+def test_e05_phase_structure(benchmark):
+    result = run_and_check("E5", benchmark)
+    assert result.experiment_id == "E5"

@@ -1,0 +1,13 @@
+"""Benchmark E6: Lemma 7 Bin(h, 9^h/d) collision majorant and eq. (6) root tail.
+
+Regenerates the E6 experiment table (DESIGN.md section 3) in quick mode
+and asserts its SHAPE MATCH verdict; wall time is the reported metric.
+Run the full-size sweep via ``python -m repro.harness.report --full``.
+"""
+
+from conftest import run_and_check
+
+
+def test_e06_collision_bounds(benchmark):
+    result = run_and_check("E6", benchmark)
+    assert result.experiment_id == "E6"

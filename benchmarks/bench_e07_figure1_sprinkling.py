@@ -1,0 +1,13 @@
+"""Benchmark E7: Figure 1 sprinkling transform reconstruction.
+
+Regenerates the E7 experiment table (DESIGN.md section 3) in quick mode
+and asserts its SHAPE MATCH verdict; wall time is the reported metric.
+Run the full-size sweep via ``python -m repro.harness.report --full``.
+"""
+
+from conftest import run_and_check
+
+
+def test_e07_figure1_sprinkling(benchmark):
+    result = run_and_check("E7", benchmark)
+    assert result.experiment_id == "E7"

@@ -1,0 +1,13 @@
+"""Benchmark E8: introduction's Best-of-k / voter / local-majority comparison.
+
+Regenerates the E8 experiment table (DESIGN.md section 3) in quick mode
+and asserts its SHAPE MATCH verdict; wall time is the reported metric.
+Run the full-size sweep via ``python -m repro.harness.report --full``.
+"""
+
+from conftest import run_and_check
+
+
+def test_e08_protocol_comparison(benchmark):
+    result = run_and_check("E8", benchmark)
+    assert result.experiment_id == "E8"

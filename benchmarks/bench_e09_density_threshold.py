@@ -1,0 +1,13 @@
+"""Benchmark E9: minimum-degree hypothesis: dense vs constant-degree hosts.
+
+Regenerates the E9 experiment table (DESIGN.md section 3) in quick mode
+and asserts its SHAPE MATCH verdict; wall time is the reported metric.
+Run the full-size sweep via ``python -m repro.harness.report --full``.
+"""
+
+from conftest import run_and_check
+
+
+def test_e09_density_threshold(benchmark):
+    result = run_and_check("E9", benchmark)
+    assert result.experiment_id == "E9"

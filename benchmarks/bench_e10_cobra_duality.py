@@ -1,0 +1,13 @@
+"""Benchmark E10: Remark 2 voting-DAG == COBRA-walk duality.
+
+Regenerates the E10 experiment table (DESIGN.md section 3) in quick mode
+and asserts its SHAPE MATCH verdict; wall time is the reported metric.
+Run the full-size sweep via ``python -m repro.harness.report --full``.
+"""
+
+from conftest import run_and_check
+
+
+def test_e10_cobra_duality(benchmark):
+    result = run_and_check("E10", benchmark)
+    assert result.experiment_id == "E10"

@@ -1,0 +1,13 @@
+"""Benchmark E11: [4]/[5] Best-of-2 imbalance threshold sweep.
+
+Regenerates the E11 experiment table (DESIGN.md section 3) in quick mode
+and asserts its SHAPE MATCH verdict; wall time is the reported metric.
+Run the full-size sweep via ``python -m repro.harness.report --full``.
+"""
+
+from conftest import run_and_check
+
+
+def test_e11_best_of_two_conditions(benchmark):
+    result = run_and_check("E11", benchmark)
+    assert result.experiment_id == "E11"

@@ -1,0 +1,13 @@
+"""Benchmark E12: i.i.d. vs adversarial placement (S2 vs [5]).
+
+Regenerates the E12 experiment table (DESIGN.md section 3) in quick mode
+and asserts its SHAPE MATCH verdict; wall time is the reported metric.
+Run the full-size sweep via ``python -m repro.harness.report --full``.
+"""
+
+from conftest import run_and_check
+
+
+def test_e12_adversarial_placement(benchmark):
+    result = run_and_check("E12", benchmark)
+    assert result.experiment_id == "E12"

@@ -1,0 +1,12 @@
+"""Benchmark E13: noise bifurcation at eta* = 1/3 (extension).
+
+Regenerates the E13 extension experiment (DESIGN.md section 3.2) in
+quick mode and asserts its SHAPE MATCH verdict; wall time is the metric.
+"""
+
+from conftest import run_and_check
+
+
+def test_e13_noisy_bifurcation(benchmark):
+    result = run_and_check("E13", benchmark)
+    assert result.experiment_id == "E13"

@@ -1,0 +1,12 @@
+"""Benchmark E14: asynchronous sweeps vs synchronous rounds (extension).
+
+Regenerates the E14 extension experiment (DESIGN.md section 3.2) in
+quick mode and asserts its SHAPE MATCH verdict; wall time is the metric.
+"""
+
+from conftest import run_and_check
+
+
+def test_e14_async_equivalence(benchmark):
+    result = run_and_check("E14", benchmark)
+    assert result.experiment_id == "E14"

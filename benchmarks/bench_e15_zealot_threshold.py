@@ -1,0 +1,12 @@
+"""Benchmark E15: zealot takeover threshold vs mean-field map (extension).
+
+Regenerates the E15 extension experiment (DESIGN.md section 3.2) in
+quick mode and asserts its SHAPE MATCH verdict; wall time is the metric.
+"""
+
+from conftest import run_and_check
+
+
+def test_e15_zealot_threshold(benchmark):
+    result = run_and_check("E15", benchmark)
+    assert result.experiment_id == "E15"

@@ -1,0 +1,12 @@
+"""Benchmark E16: COBRA-walk cover times on expanders (extension).
+
+Regenerates the E16 extension experiment (DESIGN.md section 3.2) in
+quick mode and asserts its SHAPE MATCH verdict; wall time is the metric.
+"""
+
+from conftest import run_and_check
+
+
+def test_e16_cobra_cover(benchmark):
+    result = run_and_check("E16", benchmark)
+    assert result.experiment_id == "E16"

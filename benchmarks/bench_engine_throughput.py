@@ -1,0 +1,109 @@
+"""Engine performance benchmarks and DESIGN.md ablations 1-2.
+
+These measure the per-round cost of the Best-of-3 update across hosts and
+sizes, and quantify the two performance-critical design choices:
+
+* **implicit vs materialised dense hosts** — the implicit ``K_n`` sampler
+  must be at least as fast as CSR sampling while using O(1) memory (the
+  "slow on dense large graphs" calibration point);
+* **vectorised batch sampling vs a per-vertex Python loop** — the
+  vectorised round should win by orders of magnitude (optimisation-guide
+  idiom; the loop variant exists only as the ablation baseline).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dynamics import step_best_of_k
+from repro.core.opinions import random_opinions
+from repro.graphs.generators import erdos_renyi, random_regular
+from repro.graphs.implicit import CompleteGraph, RookGraph
+
+
+def _round(graph, opinions, seed=0):
+    rng = np.random.default_rng(seed)
+    out = np.empty_like(opinions)
+
+    def go():
+        step_best_of_k(graph, opinions, 3, rng, out=out)
+
+    return go
+
+
+@pytest.mark.parametrize("n", [2**12, 2**16, 2**20])
+def test_round_complete_implicit(benchmark, n):
+    """One Best-of-3 round on implicit K_n (O(1) memory)."""
+    g = CompleteGraph(n)
+    benchmark(_round(g, random_opinions(n, 0.1, rng=1)))
+
+
+@pytest.mark.parametrize("n", [2**10, 2**12])
+def test_round_complete_materialised(benchmark, n):
+    """Ablation 1 baseline: the same round on materialised K_n CSR."""
+    g = CompleteGraph(n).to_csr()
+    benchmark(_round(g, random_opinions(n, 0.1, rng=2)))
+
+
+def test_round_erdos_renyi(benchmark):
+    """One round on a dense ER host (CSR path, ~1.6M arcs)."""
+    n = 2**12
+    g = erdos_renyi(n, 0.1, seed=3)
+    benchmark(_round(g, random_opinions(n, 0.1, rng=4)))
+
+
+def test_round_random_regular(benchmark):
+    """One round on a random regular host (CSR path, uniform rows)."""
+    g = random_regular(2**12, 64, seed=5)
+    benchmark(_round(g, random_opinions(2**12, 0.1, rng=6)))
+
+
+def test_round_rook(benchmark):
+    """One round on the rook host (implicit, alpha ~ 1/2)."""
+    g = RookGraph(128)
+    benchmark(_round(g, random_opinions(128 * 128, 0.1, rng=7)))
+
+
+def _python_loop_round(graph, opinions, rng):
+    """Ablation 2 baseline: per-vertex Python-loop update (slow path)."""
+    n = graph.num_vertices
+    out = np.empty_like(opinions)
+    for v in range(n):
+        draws = graph.sample_neighbors(np.array([v], dtype=np.int64), 3, rng)
+        out[v] = 1 if int(opinions[draws[0]].sum()) >= 2 else 0
+    return out
+
+
+def test_round_python_loop_ablation(benchmark):
+    """Ablation 2: the un-vectorised round (kept small; it is ~100x slower)."""
+    n = 2**10
+    g = CompleteGraph(n)
+    ops = random_opinions(n, 0.1, rng=8)
+    rng = np.random.default_rng(9)
+    benchmark(lambda: _python_loop_round(g, ops, rng))
+
+
+def test_dag_sampling(benchmark):
+    """Sampling a 6-level voting-DAG on a dense host."""
+    from repro.core.voting_dag import VotingDAG
+
+    g = CompleteGraph(2**16)
+    rng = np.random.default_rng(10)
+    benchmark(lambda: VotingDAG.sample(g, root=0, T=6, rng=rng))
+
+
+def test_full_consensus_run(benchmark):
+    """A complete Theorem 1 instance end to end (n = 2^16, delta = 0.1)."""
+    from repro.core.dynamics import best_of_three
+
+    n = 2**16
+    g = CompleteGraph(n)
+    init = random_opinions(n, 0.1, rng=11)
+    rng = np.random.default_rng(12)
+
+    def go():
+        res = best_of_three(g).run(init, seed=rng, max_steps=100, keep_final=False)
+        assert res.converged
+
+    benchmark(go)

@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark suite.
+
+Every experiment benchmark runs its harness experiment exactly once per
+benchmark round (the experiments are themselves Monte-Carlo ensembles;
+re-running them many times inside one measurement would only measure the
+ensemble twice).  The asserted `passed` flag makes the benchmark suite a
+second, timed integration gate: `pytest benchmarks/ --benchmark-only`
+both times the reproduction and re-checks every paper-shape verdict.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.registry import run_experiment
+
+
+def run_and_check(eid: str, benchmark, *, seed: int = 0):
+    """Benchmark one harness experiment (quick mode) and assert its verdict."""
+    result = benchmark.pedantic(
+        run_experiment, args=(eid,), kwargs={"quick": True, "seed": seed},
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert result.passed, f"{eid}: {result.verdict}"
+    return result

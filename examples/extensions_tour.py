@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Tour of the extension models: noise, asynchrony, zealots.
+
+The paper analyses the clean synchronous model; this example probes how
+far its headline behaviour stretches, using the extension modules and
+their mean-field predictions (experiments E13-E15 run these at scale):
+
+1. noise bifurcation — sweep eta through the critical value 1/3 and
+   watch the majority signal die exactly where the map says it must;
+2. asynchrony — sequential updates measured in sweeps track synchronous
+   rounds within a small constant;
+3. zealots — how many stubborn blues does it take to beat a 60/40 red
+   majority?
+
+Run:  python examples/extensions_tour.py
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.dynamics import best_of_three
+from repro.core.meanfield import best_of_k_map, map_derivative_at_half
+from repro.core.opinions import random_opinions
+from repro.extensions.async_dynamics import async_best_of_k_run
+from repro.extensions.noisy_dynamics import (
+    CRITICAL_NOISE,
+    noisy_best_of_three_run,
+    noisy_fixed_points,
+)
+from repro.extensions.zealots import zealot_best_of_three_run
+from repro.graphs.implicit import CompleteGraph
+
+N, DELTA = 20_000, 0.1
+
+
+def noise_section(g) -> None:
+    print(f"--- 1. noise bifurcation (critical eta* = {CRITICAL_NOISE:.4f}) ---")
+    rows = []
+    for i, eta in enumerate([0.0, 0.15, 0.30, 0.40, 0.60]):
+        res = noisy_best_of_three_run(
+            g, random_opinions(N, DELTA, rng=(1, i)), eta, seed=(2, i), rounds=80
+        )
+        pts = noisy_fixed_points(eta)
+        rows.append(
+            {
+                "eta": eta,
+                "stationary blue": res.stationary_blue_fraction,
+                "predicted": pts[0] if eta < CRITICAL_NOISE else 0.5,
+                "majority survives": res.majority_preserved and eta < CRITICAL_NOISE,
+            }
+        )
+    print(format_table(
+        ["eta", "stationary blue", "predicted", "majority survives"], rows
+    ))
+    print()
+
+
+def async_section(g) -> None:
+    print("--- 2. asynchronous vs synchronous ---")
+    init = random_opinions(N, DELTA, rng=3)
+    sync = best_of_three(g).run(init, seed=4, keep_final=False)
+    asyn = async_best_of_k_run(g, init, seed=5)
+    print(f"synchronous rounds : {sync.steps} (winner {'red' if sync.winner == 0 else 'blue'})")
+    print(f"asynchronous sweeps: {asyn.sweeps} (winner {'red' if asyn.winner == 0 else 'blue'})")
+    print(f"ratio              : {asyn.sweeps / sync.steps:.2f} (a constant; E14 sweeps sizes)")
+    print()
+
+
+def zealot_section(g) -> None:
+    print("--- 3. zealot takeover ---")
+    rows = []
+    for i, pct in enumerate([1, 3, 5, 8, 12]):
+        z = N * pct // 100
+        res = zealot_best_of_three_run(
+            g, random_opinions(N, DELTA, rng=(6, i)), z, seed=(7, i), max_rounds=400
+        )
+        rows.append(
+            {
+                "zealots %": pct,
+                "outcome": res.ordinary_outcome,
+                "rounds": res.rounds,
+                "final blue count": int(res.blue_trajectory[-1]),
+            }
+        )
+    print(format_table(["zealots %", "outcome", "rounds", "final blue count"], rows))
+    print(
+        "\n(The takeover sits near the mean-field basin boundary — E15 "
+        "locates it precisely.)"
+    )
+    print()
+
+
+def meanfield_section() -> None:
+    print("--- mean-field amplification across k ---")
+    for k in (1, 3, 5, 9, 15):
+        drift = best_of_k_map(0.4, k)
+        slope = map_derivative_at_half(k)
+        print(
+            f"  k={k:>2}: one round sends b=0.40 -> {drift:.4f}; "
+            f"g'(1/2) = {slope:.3f} (~sqrt(2k/pi))"
+        )
+
+
+def main() -> None:
+    g = CompleteGraph(N)
+    noise_section(g)
+    async_section(g)
+    zealot_section(g)
+    meanfield_section()
+
+
+if __name__ == "__main__":
+    main()

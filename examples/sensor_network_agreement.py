@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Domain scenario: binary agreement in an unreliable sensor swarm.
+
+A swarm of sensors must agree on a binary reading (e.g. "threshold
+exceeded") where each sensor's local measurement is correct only with
+probability 1/2 + delta.  Gossiping three random peers per round and
+taking the majority is exactly the Best-of-Three protocol; the paper's
+theorem says the swarm converges to the *correct* global reading in
+O(log log n) rounds — provided the communication graph is dense enough.
+
+The script compares three deployment topologies (full mesh, rook-style
+grid-with-buses, and a nearest-neighbour ring) and sweeps the sensor
+accuracy delta, reporting when the swarm's answer can be trusted.
+
+Run:  python examples/sensor_network_agreement.py
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.dynamics import best_of_three
+from repro.core.opinions import RED, random_opinions
+from repro.graphs.generators import ring_lattice
+from repro.graphs.implicit import CompleteGraph, RookGraph
+from repro.graphs.properties import is_dense_for_theorem1
+from repro.util.rng import spawn_generators
+
+TRIALS = 10
+MAX_ROUNDS = 400
+
+
+def agreement_rate(graph, delta, seed):
+    """Fraction of trials where the swarm agrees on the correct value."""
+    gens = spawn_generators(seed, 2 * TRIALS)
+    dyn = best_of_three(graph)
+    n = graph.num_vertices
+    correct, rounds = 0, []
+    for i in range(TRIALS):
+        # RED encodes the ground-truth reading; each sensor errs w.p. 1/2-delta.
+        init = random_opinions(n, delta, rng=gens[2 * i])
+        res = dyn.run(init, seed=gens[2 * i + 1], max_steps=MAX_ROUNDS, keep_final=False)
+        if res.converged and res.winner == RED:
+            correct += 1
+            rounds.append(res.steps)
+    return correct, rounds
+
+
+def main() -> None:
+    n_side = 64
+    topologies = [
+        ("full mesh", CompleteGraph(n_side * n_side)),
+        ("grid with row/col buses (rook)", RookGraph(n_side)),
+        ("nearest-neighbour ring d=6", ring_lattice(n_side * n_side, 6)),
+    ]
+    deltas = [0.15, 0.05, 0.02]
+
+    rows = []
+    for t_idx, (name, graph) in enumerate(topologies):
+        dense = is_dense_for_theorem1(graph)
+        for d_idx, delta in enumerate(deltas):
+            correct, rounds = agreement_rate(graph, delta, seed=(t_idx, d_idx))
+            rows.append(
+                {
+                    "topology": name,
+                    "dense (Thm1)": dense,
+                    "sensor accuracy 1/2+delta": f"{0.5 + delta:.2f}",
+                    "correct consensus": f"{correct}/{TRIALS}",
+                    "mean rounds": float(np.mean(rounds)) if rounds else float("nan"),
+                }
+            )
+
+    print(
+        f"swarm size n = {n_side * n_side}, {TRIALS} trials per cell, "
+        f"round cap {MAX_ROUNDS}\n"
+    )
+    print(
+        format_table(
+            [
+                "topology",
+                "dense (Thm1)",
+                "sensor accuracy 1/2+delta",
+                "correct consensus",
+                "mean rounds",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nTakeaway: on the dense topologies the swarm amplifies even a "
+        "52%-accurate sensor to a reliable global answer in ~10 gossip "
+        "rounds; on the ring the same protocol stalls — density is what "
+        "the Theorem 1 hypothesis buys (experiment E9 quantifies this)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment ships setuptools 65 without the ``wheel``
+package, so PEP 660 editable installs (``pip install -e .``) cannot build
+the editable wheel.  This shim lets pip fall back to the legacy
+``setup.py develop`` path via ``--no-use-pep517``.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,101 @@
+"""repro — Best-of-Three Voting on Dense Graphs.
+
+A production-quality reproduction of *“Best-of-Three Voting on Dense
+Graphs”* (Nan Kang & Nicolás Rivera, SPAA 2019, arXiv:1903.09524): the
+synchronous Best-of-k voting dynamics, the voting-DAG dual and Sprinkling
+majorization the proof builds on, the paper's recursion analysis, the
+COBRA-walk duality, and every baseline protocol the introduction compares
+against — plus the experiment harness that regenerates the paper's
+quantitative claims (see DESIGN.md and EXPERIMENTS.md).
+
+Quickstart
+----------
+>>> from repro import CompleteGraph, best_of_three, random_opinions
+>>> g = CompleteGraph(1000)
+>>> result = best_of_three(g).run(random_opinions(1000, delta=0.1, rng=1), seed=2)
+>>> result.red_wins
+True
+"""
+
+from repro._version import __version__
+from repro.core import (
+    BLUE,
+    RED,
+    BestOfKDynamics,
+    RunResult,
+    SprinkledDAG,
+    Theorem1Certificate,
+    TieRule,
+    VotingDAG,
+    best_of_three,
+    blue_count,
+    blue_fraction,
+    check_hypotheses,
+    consensus_time_bound,
+    consensus_value,
+    exact_count_opinions,
+    ideal_step,
+    ideal_trajectory,
+    is_consensus,
+    phase_lengths,
+    random_opinions,
+    sprinkle,
+    sprinkled_trajectory,
+    step_best_of_k,
+    verify_theorem1,
+)
+from repro.graphs import (
+    CompleteBipartiteGraph,
+    CompleteGraph,
+    CompleteMultipartiteGraph,
+    CSRGraph,
+    Graph,
+    RookGraph,
+    erdos_renyi,
+    from_networkx,
+    powerlaw_degree_graph,
+    random_regular,
+    ring_lattice,
+)
+
+__all__ = [
+    "__version__",
+    # opinions / dynamics
+    "RED",
+    "BLUE",
+    "random_opinions",
+    "exact_count_opinions",
+    "blue_count",
+    "blue_fraction",
+    "is_consensus",
+    "consensus_value",
+    "TieRule",
+    "RunResult",
+    "BestOfKDynamics",
+    "best_of_three",
+    "step_best_of_k",
+    # analysis objects
+    "VotingDAG",
+    "SprinkledDAG",
+    "sprinkle",
+    "ideal_step",
+    "ideal_trajectory",
+    "sprinkled_trajectory",
+    "phase_lengths",
+    "consensus_time_bound",
+    "Theorem1Certificate",
+    "check_hypotheses",
+    "verify_theorem1",
+    # graphs
+    "Graph",
+    "CSRGraph",
+    "CompleteGraph",
+    "CompleteBipartiteGraph",
+    "CompleteMultipartiteGraph",
+    "RookGraph",
+    "erdos_renyi",
+    "random_regular",
+    "powerlaw_degree_graph",
+    "ring_lattice",
+    "from_networkx",
+]

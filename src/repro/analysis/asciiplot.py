@@ -1,0 +1,93 @@
+"""Minimal ASCII line/scatter plots.
+
+Good enough to eyeball trajectory shapes (doubly-exponential collapse,
+phase boundaries) in a terminal or a markdown code block; matplotlib is
+deliberately not a dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["line_plot"]
+
+
+def line_plot(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 72,
+    height: int = 18,
+    logy: bool = False,
+    title: str = "",
+) -> str:
+    """Plot named ``(x, y)`` series on a shared character canvas.
+
+    Each series is marked with successive symbols ``* + o x @ #``.  With
+    ``logy=True``, non-positive y values are dropped (with a note in the
+    legend).
+
+    Returns the plot as a multi-line string.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 16 or height < 4:
+        raise ValueError("canvas too small (min 16x4)")
+    symbols = "*+ox@#"
+    cleaned: dict[str, tuple[np.ndarray, np.ndarray, bool]] = {}
+    for name, (xs, ys) in series.items():
+        x = np.asarray(xs, dtype=np.float64)
+        y = np.asarray(ys, dtype=np.float64)
+        if x.shape != y.shape or x.ndim != 1:
+            raise ValueError(f"series {name!r}: x and y must be matching 1-D arrays")
+        dropped = False
+        if logy:
+            keep = y > 0
+            dropped = bool((~keep).any())
+            x, y = x[keep], np.log10(y[keep])
+        if x.size == 0:
+            raise ValueError(f"series {name!r} has no plottable points")
+        cleaned[name] = (x, y, dropped)
+
+    all_x = np.concatenate([c[0] for c in cleaned.values()])
+    all_y = np.concatenate([c[1] for c in cleaned.values()])
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, (name, (x, y, _)) in enumerate(cleaned.items()):
+        sym = symbols[idx % len(symbols)]
+        cols = np.clip(
+            ((x - x_lo) / (x_hi - x_lo) * (width - 1)).round().astype(int), 0, width - 1
+        )
+        rows = np.clip(
+            ((y - y_lo) / (y_hi - y_lo) * (height - 1)).round().astype(int),
+            0,
+            height - 1,
+        )
+        for c, r in zip(cols, rows):
+            canvas[height - 1 - r][c] = sym
+
+    y_label_hi = f"{(10**y_hi if logy else y_hi):.3g}"
+    y_label_lo = f"{(10**y_lo if logy else y_lo):.3g}"
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(canvas):
+        prefix = y_label_hi if i == 0 else (y_label_lo if i == height - 1 else "")
+        lines.append(f"{prefix:>10} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(f"{'':>11} {x_lo:<.4g}{'':^{max(width - 16, 1)}}{x_hi:>.4g}")
+    legend = "  ".join(
+        f"{symbols[i % len(symbols)]}={name}"
+        + (" (nonpositive dropped)" if cleaned[name][2] else "")
+        for i, name in enumerate(cleaned)
+    )
+    lines.append("  legend: " + legend + ("   [log10 y]" if logy else ""))
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Growth-law fitting: is consensus time ``Θ(log log n)`` or ``Θ(log n)``?
+
+The headline quantitative *shape* of Theorem 1 is doubly-logarithmic
+growth of consensus time in ``n`` (versus the ``O(log n)`` of Best-of-2
+[4, 5] and ``Θ(n)``-ish voter behaviour).  E1 fits measured mean
+consensus times against three one-parameter-slope models
+
+    ``T(n) ≈ a·log log n + b``,   ``T(n) ≈ a·log n + b``,
+    ``T(n) ≈ a·n + b``
+
+and reports residuals; the paper's claim is supported when the ``log log``
+model fits best *and* the fitted slope against ``log n`` decreases when
+restricted to the larger-``n`` half (a curvature check that guards against
+the tiny dynamic range of ``log log`` over laptop-scale ``n``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GrowthFit", "fit_growth_models", "geometric_growth_rate"]
+
+
+@dataclass(frozen=True)
+class GrowthFit:
+    """Least-squares fit of ``T ≈ a·g(n) + b`` for one growth model.
+
+    Attributes
+    ----------
+    model:
+        ``"loglog"``, ``"log"`` or ``"linear"``.
+    slope, intercept:
+        Fitted coefficients.
+    rmse:
+        Root-mean-square residual.
+    r_squared:
+        Coefficient of determination (1 = perfect fit).
+    """
+
+    model: str
+    slope: float
+    intercept: float
+    rmse: float
+    r_squared: float
+
+    def predict(self, n: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted law at sizes *n*."""
+        return self.slope * _transform(np.asarray(n, dtype=np.float64), self.model) + self.intercept
+
+
+def _transform(n: np.ndarray, model: str) -> np.ndarray:
+    if model == "loglog":
+        if np.any(n <= math.e):
+            raise ValueError("loglog model needs n > e for all points")
+        return np.log(np.log(n))
+    if model == "log":
+        if np.any(n <= 1):
+            raise ValueError("log model needs n > 1 for all points")
+        return np.log(n)
+    if model == "linear":
+        return n
+    raise ValueError(f"unknown model {model!r}")
+
+
+def _fit_one(n: np.ndarray, t: np.ndarray, model: str) -> GrowthFit:
+    x = _transform(n, model)
+    a = np.stack([x, np.ones_like(x)], axis=1)
+    coef, *_ = np.linalg.lstsq(a, t, rcond=None)
+    pred = a @ coef
+    resid = t - pred
+    rmse = float(np.sqrt(np.mean(resid**2)))
+    ss_tot = float(np.sum((t - t.mean()) ** 2))
+    r2 = 1.0 - float(np.sum(resid**2)) / ss_tot if ss_tot > 0 else 1.0
+    return GrowthFit(
+        model=model,
+        slope=float(coef[0]),
+        intercept=float(coef[1]),
+        rmse=rmse,
+        r_squared=r2,
+    )
+
+
+def fit_growth_models(
+    sizes: np.ndarray, times: np.ndarray
+) -> dict[str, GrowthFit]:
+    """Fit all three growth models to ``(n, T(n))`` data.
+
+    Returns a dict keyed by model name; callers compare ``rmse`` (E1 does
+    model selection) or read individual slopes.
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    times = np.asarray(times, dtype=np.float64)
+    if sizes.shape != times.shape or sizes.ndim != 1:
+        raise ValueError("sizes and times must be matching 1-D arrays")
+    if sizes.size < 3:
+        raise ValueError(f"need at least 3 points to fit, got {sizes.size}")
+    return {m: _fit_one(sizes, times, m) for m in ("loglog", "log", "linear")}
+
+
+def geometric_growth_rate(values: np.ndarray) -> float:
+    """Median per-step growth factor of a positive sequence.
+
+    Used by E5 to verify the eq. (5) claim ``δ_t ≥ (5/4)·δ_{t-1}``: the
+    measured per-step ratios of the gap trajectory should all sit at or
+    above 1.25 until the gap saturates.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1 or values.size < 2:
+        raise ValueError("need a 1-D sequence of length >= 2")
+    if np.any(values <= 0):
+        raise ValueError("growth rate needs strictly positive values")
+    ratios = values[1:] / values[:-1]
+    return float(np.median(ratios))

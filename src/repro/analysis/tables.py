@@ -1,0 +1,67 @@
+"""Monospace table rendering for terminals and EXPERIMENTS.md.
+
+The harness reports every experiment as paper-style rows; this renderer
+produces GitHub-flavoured markdown tables (which are also readable as
+plain monospace text).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(value: Any, *, precision: int = 4) -> str:
+    """Format one cell: floats to *precision* significant digits."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 10 ** (precision + 2) or 0 < abs(value) < 10 ** (-precision):
+            return f"{value:.{precision - 1}e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    columns: Sequence[str],
+    rows: Sequence[Mapping[str, Any] | Sequence[Any]],
+    *,
+    precision: int = 4,
+) -> str:
+    """Render rows as a markdown table.
+
+    *rows* may be dicts (keyed by column name; missing keys render empty)
+    or positional sequences matching *columns*.
+    """
+    if not columns:
+        raise ValueError("need at least one column")
+    rendered: list[list[str]] = []
+    for row in rows:
+        if isinstance(row, Mapping):
+            rendered.append(
+                [format_value(row.get(c, ""), precision=precision) for c in columns]
+            )
+        else:
+            cells = list(row)
+            if len(cells) != len(columns):
+                raise ValueError(
+                    f"positional row of length {len(cells)} does not match "
+                    f"{len(columns)} columns"
+                )
+            rendered.append([format_value(c, precision=precision) for c in cells])
+    widths = [
+        max(len(str(col)), *(len(r[i]) for r in rendered)) if rendered else len(str(col))
+        for i, col in enumerate(columns)
+    ]
+    header = "| " + " | ".join(str(c).ljust(w) for c, w in zip(columns, widths)) + " |"
+    sep = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+    body = [
+        "| " + " | ".join(cell.ljust(w) for cell, w in zip(r, widths)) + " |"
+        for r in rendered
+    ]
+    return "\n".join([header, sep, *body])

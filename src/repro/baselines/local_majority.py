@@ -1,0 +1,124 @@
+"""Deterministic synchronous local majority (full-neighbourhood polling).
+
+The classic deterministic contrast to sampled majority: every vertex
+simultaneously adopts the majority opinion of its *entire* neighbourhood
+(keeping its own opinion on ties).  Deterministic synchronous majority
+need not converge — it can enter period-2 cycles (e.g. the blinker on a
+complete bipartite graph) — so the runner detects both fixed points and
+2-cycles, a behaviour impossible for the randomised Best-of-k family
+(whose consensus states are the only absorbing states reachable w.p. 1).
+
+Requires an explicit :class:`~repro.graphs.csr.CSRGraph` host (the update
+is one sparse matrix–vector product per round).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.opinions import BLUE, OPINION_DTYPE, RED
+from repro.graphs.base import Graph
+from repro.graphs.csr import CSRGraph
+from repro.util.validation import check_positive_int
+
+__all__ = ["LocalMajorityResult", "local_majority_run"]
+
+
+@dataclass
+class LocalMajorityResult:
+    """Outcome of a deterministic local-majority run.
+
+    Attributes
+    ----------
+    outcome:
+        ``"consensus"``, ``"fixed_point"`` (non-unanimous stable state),
+        ``"cycle"`` (period-2 oscillation) or ``"timeout"``.
+    winner:
+        Consensus colour if ``outcome == "consensus"``, else ``None``.
+    steps:
+        Rounds executed before the outcome was detected.
+    blue_trajectory:
+        Blue counts per round.
+    final_opinions:
+        State at termination.
+    """
+
+    outcome: str
+    winner: int | None
+    steps: int
+    blue_trajectory: np.ndarray
+    final_opinions: np.ndarray
+
+
+def local_majority_run(
+    graph: Graph,
+    initial_opinions: np.ndarray,
+    *,
+    max_steps: int = 10_000,
+) -> LocalMajorityResult:
+    """Run synchronous deterministic majority until it stabilises.
+
+    One round computes blue-neighbour counts with an adjacency matvec and
+    compares against half the degree; exact ties keep the current
+    opinion.  Detects convergence (state repeats with period 1), 2-cycles
+    (period 2 — guaranteed terminal for threshold dynamics by the
+    Goles–Olivos theorem), or gives up at *max_steps*.
+    """
+    max_steps = check_positive_int(max_steps, "max_steps")
+    csr = graph if isinstance(graph, CSRGraph) else graph.to_csr()
+    n = csr.num_vertices
+    opinions = np.asarray(initial_opinions)
+    if opinions.shape != (n,):
+        raise ValueError(
+            f"initial_opinions shape {opinions.shape} does not match n={n}"
+        )
+    adj = csr.adjacency_scipy()
+    deg = csr.degrees.astype(np.int64)
+    current = opinions.astype(OPINION_DTYPE, copy=True)
+    prev = None
+    trajectory = [int(current.sum())]
+    for step in range(1, max_steps + 1):
+        blue_neighbors = adj @ current.astype(np.float64)
+        twice = 2 * blue_neighbors.astype(np.int64)
+        nxt = np.where(
+            twice > deg,
+            np.uint8(BLUE),
+            np.where(twice < deg, np.uint8(RED), current),
+        ).astype(OPINION_DTYPE)
+        trajectory.append(int(nxt.sum()))
+        if np.array_equal(nxt, current):
+            blue = int(current.sum())
+            if blue == 0 or blue == n:
+                return LocalMajorityResult(
+                    outcome="consensus",
+                    winner=BLUE if blue == n else RED,
+                    steps=step - 1,
+                    blue_trajectory=np.asarray(trajectory[:-1], dtype=np.int64),
+                    final_opinions=current,
+                )
+            return LocalMajorityResult(
+                outcome="fixed_point",
+                winner=None,
+                steps=step - 1,
+                blue_trajectory=np.asarray(trajectory[:-1], dtype=np.int64),
+                final_opinions=current,
+            )
+        if prev is not None and np.array_equal(nxt, prev):
+            return LocalMajorityResult(
+                outcome="cycle",
+                winner=None,
+                steps=step,
+                blue_trajectory=np.asarray(trajectory, dtype=np.int64),
+                final_opinions=nxt,
+            )
+        prev = current
+        current = nxt
+    return LocalMajorityResult(
+        outcome="timeout",
+        winner=None,
+        steps=max_steps,
+        blue_trajectory=np.asarray(trajectory, dtype=np.int64),
+        final_opinions=current,
+    )

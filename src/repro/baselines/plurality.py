@@ -1,0 +1,151 @@
+"""Multi-opinion 3-majority with random tie-breaking: Becchetti et al. [2].
+
+[2] study Best-of-3 on the complete graph with ``q`` initial opinions:
+each vertex samples three neighbours and adopts the majority of the
+sample, breaking three-way ties by adopting a uniformly random one of the
+three sampled opinions.  They prove plurality consensus w.h.p. in
+``O(min{q, (n/log n)^{1/3}}·log n)`` rounds when the initial gap between
+the top two opinions is
+``Ω(min{√(2q), (n/log n)^{1/6}}·√(n·log n))``.
+
+This module generalises the library's two-colour engine to ``q`` colours
+(opinion codes ``0..q-1``) and provides the [2] gap threshold for the E8
+comparison harness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.base import Graph
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "random_plurality_opinions",
+    "plurality_step",
+    "PluralityResult",
+    "plurality_run",
+    "becchetti_gap_threshold",
+]
+
+
+def random_plurality_opinions(
+    n: int, probabilities: np.ndarray, rng: SeedLike = None
+) -> np.ndarray:
+    """I.i.d. initial opinions over ``q`` colours with given probabilities."""
+    n = check_positive_int(n, "n")
+    probs = np.asarray(probabilities, dtype=np.float64)
+    if probs.ndim != 1 or probs.size < 2:
+        raise ValueError("need at least two opinion probabilities")
+    if np.any(probs < 0) or not math.isclose(float(probs.sum()), 1.0, rel_tol=1e-9):
+        raise ValueError(f"probabilities must be non-negative and sum to 1, got {probs}")
+    gen = as_generator(rng)
+    return gen.choice(probs.size, size=n, p=probs).astype(np.int64)
+
+
+def plurality_step(
+    graph: Graph, opinions: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """One synchronous round of q-colour 3-majority with random ties.
+
+    For each vertex, sort its three sampled opinions: if any value repeats
+    the median equals the majority value; otherwise (three distinct
+    values) adopt a uniform random one of the three — the [2] tie rule.
+    """
+    n = graph.num_vertices
+    opinions = np.asarray(opinions)
+    if opinions.shape != (n,):
+        raise ValueError(
+            f"opinions shape {opinions.shape} does not match graph n={n}"
+        )
+    vertices = np.arange(n, dtype=np.int64)
+    samples = graph.sample_neighbors(vertices, 3, rng)
+    vals = np.sort(opinions[samples], axis=1)
+    majority = vals[:, 1]  # the median is the repeated value when one exists
+    tie = (vals[:, 0] != vals[:, 1]) & (vals[:, 1] != vals[:, 2])
+    n_tie = int(np.count_nonzero(tie))
+    out = majority.copy()
+    if n_tie:
+        pick = rng.integers(0, 3, size=n_tie)
+        out[tie] = vals[tie, pick]
+    return out
+
+
+@dataclass
+class PluralityResult:
+    """Outcome of a q-colour plurality run.
+
+    Attributes
+    ----------
+    converged:
+        Whether a single opinion took over within the budget.
+    winner:
+        The consensus opinion code, or ``None``.
+    steps:
+        Rounds executed.
+    count_trajectory:
+        ``(steps+1, q)`` matrix of per-colour counts over time.
+    """
+
+    converged: bool
+    winner: int | None
+    steps: int
+    count_trajectory: np.ndarray
+
+
+def plurality_run(
+    graph: Graph,
+    initial_opinions: np.ndarray,
+    *,
+    q: int | None = None,
+    seed: SeedLike = None,
+    max_steps: int = 10_000,
+) -> PluralityResult:
+    """Run q-colour 3-majority until consensus or *max_steps*."""
+    max_steps = check_positive_int(max_steps, "max_steps")
+    n = graph.num_vertices
+    opinions = np.asarray(initial_opinions).astype(np.int64, copy=True)
+    if opinions.shape != (n,):
+        raise ValueError(
+            f"initial_opinions shape {opinions.shape} does not match n={n}"
+        )
+    if q is None:
+        q = int(opinions.max()) + 1
+    q = check_positive_int(q, "q")
+    if opinions.min() < 0 or opinions.max() >= q:
+        raise ValueError(f"opinion codes must lie in [0, {q})")
+    gen = as_generator(seed)
+    counts = [np.bincount(opinions, minlength=q)]
+    steps = 0
+    while counts[-1].max() < n and steps < max_steps:
+        opinions = plurality_step(graph, opinions, gen)
+        counts.append(np.bincount(opinions, minlength=q))
+        steps += 1
+    trajectory = np.stack(counts, axis=0)
+    converged = int(trajectory[-1].max()) == n
+    winner = int(trajectory[-1].argmax()) if converged else None
+    return PluralityResult(
+        converged=converged,
+        winner=winner,
+        steps=steps,
+        count_trajectory=trajectory,
+    )
+
+
+def becchetti_gap_threshold(n: int, q: int) -> float:
+    """The [2] initial-gap scale ``min{√(2q), (n/log n)^{1/6}}·√(n·log n)``.
+
+    [2] prove plurality consensus w.h.p. when the count gap between the
+    largest and second-largest initial opinions is a sufficiently large
+    constant times this (complete-graph hosts).
+    """
+    n = check_positive_int(n, "n")
+    q = check_positive_int(q, "q")
+    if n < 3:
+        raise ValueError(f"need n >= 3, got {n}")
+    log_n = math.log(n)
+    return min(math.sqrt(2.0 * q), (n / log_n) ** (1.0 / 6.0)) * math.sqrt(n * log_n)

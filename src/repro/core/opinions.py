@@ -1,0 +1,189 @@
+"""Opinion vectors and initial configurations.
+
+Encoding (fixed across the whole library, chosen to match the paper's §3
+convention): ``RED = 0``, ``BLUE = 1``.  With blue as 1, the paper's
+majorization statements read literally as array inequalities
+``X ≤ X'`` and "fewer blues" is a smaller sum.
+
+The paper's initial condition (§2): every vertex is independently blue
+with probability ``1/2 − δ`` and red otherwise, so red is the expected
+initial majority and Theorem 1 asserts red wins.  Alternative
+initialisations (exact counts, adversarial placements) support the E12
+contrast with the adversarial setting of Cooper et al. [5].
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Literal
+
+import numpy as np
+
+from repro.graphs.base import Graph
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_in_range, check_nonnegative_int, check_positive_int
+
+__all__ = [
+    "RED",
+    "BLUE",
+    "random_opinions",
+    "exact_count_opinions",
+    "adversarial_opinions",
+    "blue_count",
+    "blue_fraction",
+    "is_consensus",
+    "consensus_value",
+]
+
+RED: int = 0
+"""Integer code of the red opinion (the initial expected majority)."""
+
+BLUE: int = 1
+"""Integer code of the blue opinion (the initial expected minority)."""
+
+OPINION_DTYPE = np.uint8
+
+AdversarialStrategy = Literal["high_degree", "low_degree", "block", "cluster"]
+
+
+def random_opinions(n: int, delta: float, rng: SeedLike = None) -> np.ndarray:
+    """Draw the paper's i.i.d. initial configuration.
+
+    Each vertex is independently ``BLUE`` with probability ``1/2 − delta``,
+    otherwise ``RED`` (§2).
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    delta:
+        Initial bias ``δ ∈ [0, 1/2]``; ``δ = 0`` is the unbiased coin.
+    rng:
+        Randomness.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``uint8`` array of shape ``(n,)`` with entries in ``{RED, BLUE}``.
+    """
+    n = check_positive_int(n, "n")
+    delta = check_in_range(delta, "delta", 0.0, 0.5)
+    gen = as_generator(rng)
+    return (gen.random(n) < (0.5 - delta)).astype(OPINION_DTYPE)
+
+
+def exact_count_opinions(n: int, blue: int, rng: SeedLike = None) -> np.ndarray:
+    """Configuration with exactly *blue* blue vertices, uniformly placed.
+
+    Used when an experiment must condition on the initial count (e.g. the
+    voter-model win-probability law in E8, which is exact given counts).
+    """
+    n = check_positive_int(n, "n")
+    blue = check_nonnegative_int(blue, "blue")
+    if blue > n:
+        raise ValueError(f"blue count {blue} exceeds n={n}")
+    gen = as_generator(rng)
+    opinions = np.zeros(n, dtype=OPINION_DTYPE)
+    opinions[:blue] = BLUE
+    gen.shuffle(opinions)
+    return opinions
+
+
+def adversarial_opinions(
+    graph: Graph,
+    blue: int,
+    strategy: AdversarialStrategy = "high_degree",
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Place exactly *blue* blue opinions adversarially on *graph*.
+
+    Strategies (E12; contrast with the paper's i.i.d. hypothesis):
+
+    - ``"high_degree"``: blue on the highest-degree vertices — maximises
+      the blue degree volume ``d(B₀)``, the quantity the [5] condition
+      constrains.
+    - ``"low_degree"``: blue on the lowest-degree vertices.
+    - ``"block"``: blue on vertices ``0..blue-1`` — on structured hosts
+      (two-clique bridge, ring lattice) this packs blue into one region.
+    - ``"cluster"``: BFS ball around a random start (requires a CSR host),
+      the classic worst case for majority dynamics on low-conductance
+      graphs.
+    """
+    n = graph.num_vertices
+    blue = check_nonnegative_int(blue, "blue")
+    if blue > n:
+        raise ValueError(f"blue count {blue} exceeds n={n}")
+    gen = as_generator(rng)
+    opinions = np.zeros(n, dtype=OPINION_DTYPE)
+    if blue == 0:
+        return opinions
+    if strategy == "high_degree":
+        order = np.argsort(-graph.degrees, kind="stable")
+        opinions[order[:blue]] = BLUE
+    elif strategy == "low_degree":
+        order = np.argsort(graph.degrees, kind="stable")
+        opinions[order[:blue]] = BLUE
+    elif strategy == "block":
+        opinions[:blue] = BLUE
+    elif strategy == "cluster":
+        from repro.graphs.csr import CSRGraph
+
+        csr = graph if isinstance(graph, CSRGraph) else graph.to_csr()
+        start = int(gen.integers(0, n))
+        chosen = _bfs_ball(csr, start, blue)
+        opinions[chosen] = BLUE
+    else:
+        raise ValueError(
+            f"unknown adversarial strategy {strategy!r}; expected one of "
+            "'high_degree', 'low_degree', 'block', 'cluster'"
+        )
+    return opinions
+
+
+def _bfs_ball(csr, start: int, size: int) -> np.ndarray:
+    """First *size* vertices in BFS order from *start* (graph connected or not)."""
+    n = csr.num_vertices
+    visited = np.zeros(n, dtype=bool)
+    out: list[int] = []
+    queue: deque[int] = deque([start])
+    visited[start] = True
+    while queue and len(out) < size:
+        v = queue.popleft()
+        out.append(v)
+        for w in csr.neighbors(v):
+            w = int(w)
+            if not visited[w]:
+                visited[w] = True
+                queue.append(w)
+    if len(out) < size:
+        # Disconnected host: top up with arbitrary unvisited vertices.
+        rest = np.nonzero(~visited)[0][: size - len(out)]
+        out.extend(int(v) for v in rest)
+    return np.array(out[:size], dtype=np.int64)
+
+
+def blue_count(opinions: np.ndarray) -> int:
+    """Number of blue vertices in *opinions*."""
+    return int(np.count_nonzero(opinions))
+
+
+def blue_fraction(opinions: np.ndarray) -> float:
+    """Fraction of blue vertices in *opinions*."""
+    if opinions.size == 0:
+        raise ValueError("opinions array is empty")
+    return blue_count(opinions) / opinions.size
+
+
+def is_consensus(opinions: np.ndarray) -> bool:
+    """True iff every vertex holds the same opinion."""
+    if opinions.size == 0:
+        raise ValueError("opinions array is empty")
+    first = opinions.flat[0]
+    return bool((opinions == first).all())
+
+
+def consensus_value(opinions: np.ndarray) -> int | None:
+    """The agreed opinion (``RED``/``BLUE``) if consensus holds, else ``None``."""
+    if is_consensus(opinions):
+        return int(opinions.flat[0])
+    return None

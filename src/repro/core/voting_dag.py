@@ -1,0 +1,294 @@
+"""The random voting-DAG: the paper's dual object (§2).
+
+To decide the opinion ``ξ_T(v₀)`` one unwinds time: ``ξ_T(v₀)`` is the
+majority of three random neighbours' opinions at ``T−1``, each of which is
+the majority of three at ``T−2``, and so on down to the known i.i.d. level
+0.  The queried vertices form levels ``Q_T = {v₀}, Q_{T−1}, …, Q_0`` of a
+DAG whose edges point from level ``t+1`` to the three sampled vertices at
+level ``t``.
+
+Two independent sources of randomness are kept separate, exactly as in the
+paper: the *structure* of the DAG (:meth:`VotingDAG.sample`) and the
+*colouring* of its leaves (:meth:`VotingDAG.color_leaves_iid` /
+:meth:`VotingDAG.color`).  Summing over structures,
+``P(ξ_T(v₀) = B) = P(X_H(v₀, T) = B)`` — the identity the test suite
+verifies by Monte Carlo against the forward engine.
+
+Remark 2's COBRA-walk correspondence (levels of ``H`` ≡ occupied sets of a
+coalescing-branching walk) is exercised in :mod:`repro.dual.cobra`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.opinions import BLUE, OPINION_DTYPE, RED
+from repro.graphs.base import Graph
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_nonnegative_int, check_positive_int
+
+__all__ = ["VotingDAG", "DAGColoring"]
+
+
+@dataclass
+class DAGColoring:
+    """Per-level opinion arrays produced by the colouring process.
+
+    ``opinions[t][i]`` is the colour of the ``i``-th vertex of level ``t``
+    (positionally aligned with ``dag.levels[t]``).
+    """
+
+    opinions: list[np.ndarray]
+
+    @property
+    def root_opinion(self) -> int:
+        """Colour assigned to the root ``(v₀, T)``."""
+        return int(self.opinions[-1][0])
+
+    def blue_counts(self) -> np.ndarray:
+        """Number of blue vertices per level (index 0 = leaves)."""
+        return np.array([int(level.sum()) for level in self.opinions], dtype=np.int64)
+
+
+class VotingDAG:
+    """A realisation of the random voting-DAG ``H(v₀, T)``.
+
+    Attributes
+    ----------
+    levels:
+        ``levels[t]`` is the sorted integer array of graph-vertex ids in
+        the query set ``Q_t`` (``levels[T] = [v₀]``).
+    child_positions:
+        ``child_positions[t]`` (for ``t ≥ 1``) has shape ``(|Q_t|, 3)``;
+        entry ``[i, j]`` is the *position in* ``levels[t-1]`` of the
+        ``j``-th vertex sampled by the ``i``-th vertex of ``Q_t``.
+        ``child_positions[0]`` is ``None`` (leaves sample nothing).
+    """
+
+    def __init__(
+        self,
+        levels: list[np.ndarray],
+        child_positions: list[np.ndarray | None],
+        *,
+        graph_n: int,
+    ) -> None:
+        if len(levels) != len(child_positions):
+            raise ValueError("levels and child_positions must align")
+        if len(levels) < 1:
+            raise ValueError("a voting-DAG has at least the root level")
+        if child_positions[0] is not None:
+            raise ValueError("level 0 (leaves) must have child_positions None")
+        for t in range(1, len(levels)):
+            cp = child_positions[t]
+            if cp is None or cp.shape != (levels[t].size, 3):
+                raise ValueError(
+                    f"child_positions[{t}] must have shape ({levels[t].size}, 3)"
+                )
+            if cp.size and (cp.min() < 0 or cp.max() >= levels[t - 1].size):
+                raise ValueError(
+                    f"child_positions[{t}] indexes outside level {t-1}"
+                )
+        if levels[-1].size != 1:
+            raise ValueError("top level must contain exactly the root")
+        self.levels = levels
+        self.child_positions = child_positions
+        self.graph_n = graph_n
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def sample(
+        cls, graph: Graph, root: int, T: int, rng: SeedLike = None
+    ) -> "VotingDAG":
+        """Sample the random voting-DAG of ``T`` levels rooted at *root*.
+
+        Works top-down: level ``t`` vertices each draw 3 uniform neighbours
+        (with replacement); the *set* of drawn vertices becomes level
+        ``t−1`` and the draws are recorded as positions into it.
+        """
+        T = check_nonnegative_int(T, "T")
+        n = graph.num_vertices
+        if not 0 <= root < n:
+            raise ValueError(f"root {root} out of range [0, {n})")
+        gen = as_generator(rng)
+        levels: list[np.ndarray] = [None] * (T + 1)  # type: ignore[list-item]
+        child_positions: list[np.ndarray | None] = [None] * (T + 1)
+        levels[T] = np.array([root], dtype=np.int64)
+        for t in range(T, 0, -1):
+            q = levels[t]
+            draws = graph.sample_neighbors(q, 3, gen)
+            uniq, inverse = np.unique(draws, return_inverse=True)
+            levels[t - 1] = uniq.astype(np.int64)
+            child_positions[t] = inverse.reshape(q.size, 3).astype(np.int64)
+        return cls(levels, child_positions, graph_n=n)
+
+    # ------------------------------------------------------------------
+    # Basic structure queries
+    # ------------------------------------------------------------------
+
+    @property
+    def T(self) -> int:
+        """Number of voting rounds represented (= number of levels − 1)."""
+        return len(self.levels) - 1
+
+    @property
+    def root(self) -> int:
+        """Graph-vertex id of the root ``v₀``."""
+        return int(self.levels[-1][0])
+
+    def level_sizes(self) -> np.ndarray:
+        """``|Q_t|`` for ``t = 0..T``."""
+        return np.array([lv.size for lv in self.levels], dtype=np.int64)
+
+    @property
+    def total_vertices(self) -> int:
+        """Total number of DAG vertices across levels."""
+        return int(self.level_sizes().sum())
+
+    def child_vertices(self, t: int) -> np.ndarray:
+        """Graph-vertex ids sampled by level *t* (shape ``(|Q_t|, 3)``)."""
+        if not 1 <= t <= self.T:
+            raise ValueError(f"t must be in [1, {self.T}], got {t}")
+        return self.levels[t - 1][self.child_positions[t]]
+
+    # ------------------------------------------------------------------
+    # Collision structure (input to §3 Sprinkling and Lemma 7)
+    # ------------------------------------------------------------------
+
+    def level_collision_draw_mask(
+        self, t: int, order: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Boolean ``(|Q_t|, 3)`` mask of draws that are *collisions*.
+
+        Reveal draws vertex by vertex (three draws each) in the given
+        *order* over the level's vertices — §3 fixes an arbitrary order
+        and the default is left-to-right (row-major).  A draw collides if
+        its target was already revealed by an earlier draw — by another
+        vertex *or the same vertex* (§3's definition).
+
+        The *number* of collisions per level is order-invariant (it is
+        ``3·|Q_t| − |Q_{t-1}|``); only *which* draws are marked changes.
+        DESIGN.md ablation 4 exercises this.
+        """
+        if not 1 <= t <= self.T:
+            raise ValueError(f"t must be in [1, {self.T}], got {t}")
+        cp = self.child_positions[t]
+        if order is None:
+            flat = cp.ravel()
+            mask = np.ones(flat.size, dtype=bool)
+            _, first_idx = np.unique(flat, return_index=True)
+            mask[first_idx] = False
+            return mask.reshape(cp.shape)
+        order = np.asarray(order, dtype=np.int64)
+        if not np.array_equal(np.sort(order), np.arange(cp.shape[0])):
+            raise ValueError(
+                f"order must be a permutation of range({cp.shape[0]})"
+            )
+        flat = cp[order].ravel()
+        mask = np.ones(flat.size, dtype=bool)
+        _, first_idx = np.unique(flat, return_index=True)
+        mask[first_idx] = False
+        permuted = mask.reshape(cp.shape)
+        out = np.empty_like(permuted)
+        out[order] = permuted
+        return out
+
+    def level_has_collision(self, t: int) -> bool:
+        """Whether level *t* involves at least one collision.
+
+        Equivalent to ``|Q_{t-1}| < 3·|Q_t|`` since every repeat of a
+        target is a collision.
+        """
+        if not 1 <= t <= self.T:
+            raise ValueError(f"t must be in [1, {self.T}], got {t}")
+        return self.levels[t - 1].size < 3 * self.levels[t].size
+
+    def collision_levels(self) -> np.ndarray:
+        """Boolean array over ``t = 1..T``: which levels involve collisions.
+
+        (Lemma 7's indicators ``C_t``; entry ``[t-1]`` corresponds to
+        level ``t``.)
+        """
+        return np.array(
+            [self.level_has_collision(t) for t in range(1, self.T + 1)], dtype=bool
+        )
+
+    @property
+    def num_collision_levels(self) -> int:
+        """Lemma 7's ``C``: the number of levels involving a collision."""
+        return int(self.collision_levels().sum())
+
+    @property
+    def is_ternary_tree(self) -> bool:
+        """True iff no level has any collision (``H`` realised as a tree)."""
+        return self.num_collision_levels == 0
+
+    # ------------------------------------------------------------------
+    # The colouring process
+    # ------------------------------------------------------------------
+
+    def color(self, leaf_opinions: np.ndarray) -> DAGColoring:
+        """Run the colouring process upward from explicit leaf opinions.
+
+        Parameters
+        ----------
+        leaf_opinions:
+            ``uint8`` array positionally aligned with ``levels[0]``.
+
+        Returns
+        -------
+        DAGColoring
+            Per-level colours; majority-of-three at every internal vertex.
+        """
+        leaf_opinions = np.asarray(leaf_opinions)
+        if leaf_opinions.shape != (self.levels[0].size,):
+            raise ValueError(
+                f"leaf_opinions must have shape ({self.levels[0].size},), "
+                f"got {leaf_opinions.shape}"
+            )
+        opinions: list[np.ndarray] = [leaf_opinions.astype(OPINION_DTYPE, copy=True)]
+        for t in range(1, self.T + 1):
+            below = opinions[t - 1]
+            votes = below[self.child_positions[t]].sum(axis=1, dtype=np.int64)
+            opinions.append((votes >= 2).astype(OPINION_DTYPE))
+        return DAGColoring(opinions=opinions)
+
+    def color_leaves_iid(
+        self, delta: float, rng: SeedLike = None
+    ) -> DAGColoring:
+        """Colour leaves i.i.d. blue with probability ``1/2 − delta`` and run.
+
+        This is the paper's §2 colouring process whose root colour is
+        distributed as ``ξ_T(v₀)``.
+        """
+        gen = as_generator(rng)
+        p_blue = 0.5 - delta
+        if not 0.0 <= p_blue <= 1.0:
+            raise ValueError(f"1/2 - delta must be a probability, got {p_blue}")
+        leaves = (gen.random(self.levels[0].size) < p_blue).astype(OPINION_DTYPE)
+        return self.color(leaves)
+
+    def color_leaves_bernoulli(
+        self, p_blue: float, rng: SeedLike = None
+    ) -> DAGColoring:
+        """Colour leaves i.i.d. blue with probability *p_blue* and run.
+
+        Used by the upper-level analysis (§4), where leaves carry the
+        ``o(d⁻¹)`` majorant probability rather than ``1/2 − δ``.
+        """
+        if not 0.0 <= p_blue <= 1.0:
+            raise ValueError(f"p_blue must be a probability, got {p_blue}")
+        gen = as_generator(rng)
+        leaves = (gen.random(self.levels[0].size) < p_blue).astype(OPINION_DTYPE)
+        return self.color(leaves)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"VotingDAG(root={self.root}, T={self.T}, "
+            f"level_sizes={self.level_sizes().tolist()}, "
+            f"collision_levels={self.num_collision_levels})"
+        )

@@ -1,0 +1,24 @@
+"""Dual random processes (Remark 2 of the paper).
+
+The random voting-DAG of Best-of-k is the space-time trajectory of a
+**COBRA walk** (COalescing-BRAnching random walk) with branching factor
+``k``: level ``T − t`` of the DAG is the set of vertices occupied at time
+``t`` by a COBRA walk started at the root.  For ``k = 1`` the COBRA walk
+degenerates to the classic **coalescing random walk**, the dual of the
+voter model.
+
+:mod:`repro.dual.cobra` simulates COBRA walks directly and exposes the
+level-set correspondence; :mod:`repro.dual.coalescing` implements the
+coalescing walk with meeting/coalescence-time estimators.
+"""
+
+from repro.dual.coalescing import CoalescingWalkResult, coalescing_random_walk
+from repro.dual.cobra import CobraTrajectory, cobra_cover_time, cobra_walk
+
+__all__ = [
+    "cobra_walk",
+    "CobraTrajectory",
+    "cobra_cover_time",
+    "coalescing_random_walk",
+    "CoalescingWalkResult",
+]

@@ -1,0 +1,132 @@
+"""Zealots: stubborn vertices that never update their opinion.
+
+A standard robustness probe for majority dynamics: plant ``z`` blue
+*zealots* that hold BLUE forever while every other vertex runs Best-of-3.
+Because ordinary vertices sample zealots like anyone else, the mean-field
+map on a dense host becomes
+
+    ``b ↦ (1 − z/n) · (3b̃² − 2b̃³) + z/n``     with ``b̃ = b``
+
+i.e. the non-zealot update probability is unchanged (they sample from the
+whole population, fraction ``b`` blue) but a ``z/n`` mass of blue is
+pinned.  For small ``z`` the red majority still takes every ordinary
+vertex (the blue fraction settles at ``≈ z/n``); red *full* consensus is
+impossible, so the observable is the terminal ordinary-vertex state and
+whether blue can leverage the pinned mass to take over — which requires
+``z/n`` comparable to the gap-to-1/2, mirroring the paper's δ threshold
+from the other side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.opinions import BLUE, OPINION_DTYPE
+from repro.graphs.base import Graph
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_nonnegative_int, check_positive_int
+
+__all__ = ["ZealotRunResult", "zealot_best_of_three_run"]
+
+
+@dataclass
+class ZealotRunResult:
+    """Outcome of a Best-of-3 run with blue zealots.
+
+    Attributes
+    ----------
+    ordinary_outcome:
+        ``"all_red"``, ``"all_blue"`` (every *ordinary* vertex unanimous)
+        or ``"mixed"`` at budget exhaustion.
+    rounds:
+        Rounds executed.
+    blue_trajectory:
+        Total blue counts per round (zealots included).
+    final_ordinary_blue:
+        Blue count among non-zealots at the end.
+    """
+
+    ordinary_outcome: str
+    rounds: int
+    blue_trajectory: np.ndarray
+    final_ordinary_blue: int
+
+
+def zealot_best_of_three_run(
+    graph: Graph,
+    initial_opinions: np.ndarray,
+    zealots: np.ndarray | int,
+    *,
+    seed: SeedLike = None,
+    max_rounds: int = 2000,
+) -> ZealotRunResult:
+    """Run Best-of-3 with the given blue zealots held fixed.
+
+    Parameters
+    ----------
+    graph, initial_opinions, seed:
+        As in the synchronous engine; zealot entries of the initial
+        vector are forced to BLUE.
+    zealots:
+        Either an integer ``z`` (vertices ``0..z-1`` become zealots) or
+        an explicit index array.
+    max_rounds:
+        Budget; the run stops early once the ordinary vertices are
+        unanimous (the only stable outcomes).
+    """
+    n = graph.num_vertices
+    opinions = np.asarray(initial_opinions)
+    if opinions.shape != (n,):
+        raise ValueError(
+            f"initial_opinions shape {opinions.shape} does not match n={n}"
+        )
+    if np.isscalar(zealots):
+        z = check_nonnegative_int(int(zealots), "zealots")
+        if z > n:
+            raise ValueError(f"zealot count {z} exceeds n={n}")
+        zealot_idx = np.arange(z, dtype=np.int64)
+    else:
+        zealot_idx = np.unique(np.asarray(zealots, dtype=np.int64))
+        if zealot_idx.size and (
+            zealot_idx.min() < 0 or zealot_idx.max() >= n
+        ):
+            raise ValueError(f"zealot ids must lie in [0, {n})")
+    check_positive_int(max_rounds, "max_rounds")
+    gen = as_generator(seed)
+
+    ordinary = np.ones(n, dtype=bool)
+    ordinary[zealot_idx] = False
+    state = opinions.astype(OPINION_DTYPE, copy=True)
+    state[zealot_idx] = BLUE
+    vertices = np.arange(n, dtype=np.int64)
+    trajectory = [int(state.sum())]
+    rounds = 0
+    n_ordinary = int(ordinary.sum())
+    while rounds < max_rounds:
+        ord_blue = int(state[ordinary].sum())
+        if ord_blue == 0 or ord_blue == n_ordinary:
+            break
+        draws = graph.sample_neighbors(vertices, 3, gen)
+        votes = state[draws].sum(axis=1, dtype=np.int64)
+        new_state = (votes >= 2).astype(OPINION_DTYPE)
+        new_state[zealot_idx] = BLUE
+        state = new_state
+        trajectory.append(int(state.sum()))
+        rounds += 1
+    ord_blue = int(state[ordinary].sum())
+    if n_ordinary == 0:
+        outcome = "all_blue"
+    elif ord_blue == 0:
+        outcome = "all_red"
+    elif ord_blue == n_ordinary:
+        outcome = "all_blue"
+    else:
+        outcome = "mixed"
+    return ZealotRunResult(
+        ordinary_outcome=outcome,
+        rounds=rounds,
+        blue_trajectory=np.asarray(trajectory, dtype=np.int64),
+        final_ordinary_blue=ord_blue,
+    )

@@ -1,0 +1,74 @@
+"""Graph substrate for voting dynamics.
+
+The paper's process only ever interacts with the host graph through one
+operation: *sample k uniformly random neighbours of a vertex, with
+replacement* (§2: "every vertex independently samples three random
+neighbours").  :class:`repro.graphs.Graph` abstracts exactly that
+operation, which lets the library run the identical dynamics law on
+
+* explicit sparse/dense graphs held in CSR form (:class:`CSRGraph`), and
+* *implicit* dense families (complete, complete multipartite, rook) whose
+  neighbour distribution has a closed form, so graphs with Θ(n²) edges
+  cost O(1) memory (:mod:`repro.graphs.implicit`).
+
+Generators for the host-graph families used by the experiments live in
+:mod:`repro.graphs.generators`; spectral tools (λ₂, used by the Best-of-2
+expander condition of Cooper et al. [5]) in :mod:`repro.graphs.spectral`;
+and density/min-degree diagnostics tied to the Theorem 1 hypotheses in
+:mod:`repro.graphs.properties`.
+"""
+
+from repro.graphs.base import Graph
+from repro.graphs.csr import CSRGraph
+from repro.graphs.expanders import (
+    hypercube,
+    margulis_torus,
+    paley_like_circulant,
+)
+from repro.graphs.generators import (
+    erdos_renyi,
+    from_networkx,
+    powerlaw_degree_graph,
+    random_regular,
+    ring_lattice,
+    star_polluted,
+    two_clique_bridge,
+)
+from repro.graphs.implicit import (
+    CompleteBipartiteGraph,
+    CompleteGraph,
+    CompleteMultipartiteGraph,
+    RookGraph,
+)
+from repro.graphs.properties import (
+    alpha_of,
+    degree_statistics,
+    effective_min_degree,
+    is_dense_for_theorem1,
+)
+from repro.graphs.spectral import second_eigenvalue, spectral_gap
+
+__all__ = [
+    "Graph",
+    "CSRGraph",
+    "CompleteGraph",
+    "CompleteBipartiteGraph",
+    "CompleteMultipartiteGraph",
+    "RookGraph",
+    "erdos_renyi",
+    "random_regular",
+    "powerlaw_degree_graph",
+    "ring_lattice",
+    "two_clique_bridge",
+    "star_polluted",
+    "from_networkx",
+    "alpha_of",
+    "degree_statistics",
+    "effective_min_degree",
+    "is_dense_for_theorem1",
+    "second_eigenvalue",
+    "spectral_gap",
+    "hypercube",
+    "margulis_torus",
+    "paley_like_circulant",
+]

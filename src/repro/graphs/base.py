@@ -1,0 +1,163 @@
+"""The :class:`Graph` interface every voting host must implement.
+
+Design note (DESIGN.md §2.1): the Best-of-k dynamics, the voting-DAG dual,
+the COBRA walk, and all baselines touch the graph *only* through uniform
+with-replacement neighbour sampling.  Making that the interface — rather
+than adjacency iteration — is what allows `O(1)`-memory implicit dense
+hosts, which in turn is what makes the paper's "dense graphs" regime
+(minimum degree ``n^α``) tractable at large ``n`` in pure Python/NumPy.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.graphs.csr import CSRGraph
+
+__all__ = ["Graph"]
+
+
+class Graph(abc.ABC):
+    """Abstract host graph for sampling-based voting dynamics.
+
+    Concrete subclasses must be *simple* undirected graphs (no self-loops,
+    no multi-edges) with minimum degree >= 1, matching the paper's setting
+    where every vertex can always draw three neighbours.
+    """
+
+    # ------------------------------------------------------------------
+    # Abstract surface
+    # ------------------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``; vertices are labelled ``0 .. n-1``."""
+
+    @property
+    @abc.abstractmethod
+    def degrees(self) -> np.ndarray:
+        """Integer array of shape ``(n,)`` with the degree of each vertex."""
+
+    @abc.abstractmethod
+    def sample_neighbors(
+        self, vertices: np.ndarray, k: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sample ``k`` neighbours uniformly *with replacement* per vertex.
+
+        Parameters
+        ----------
+        vertices:
+            1-D integer array of vertex ids (may repeat; repeats get
+            independent samples).
+        k:
+            Number of draws per vertex (the paper's ``k = 3``).
+        rng:
+            Source of randomness.
+
+        Returns
+        -------
+        numpy.ndarray
+            Integer array of shape ``(len(vertices), k)``; row ``i`` holds
+            ``k`` i.i.d. uniform draws from the neighbourhood of
+            ``vertices[i]``.
+        """
+
+    # ------------------------------------------------------------------
+    # Derived quantities shared by all hosts
+    # ------------------------------------------------------------------
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``|E|`` (= sum of degrees / 2)."""
+        return int(self.degrees.sum()) // 2
+
+    @property
+    def min_degree(self) -> int:
+        """Minimum degree ``d`` — the paper's density parameter."""
+        return int(self.degrees.min())
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum degree."""
+        return int(self.degrees.max())
+
+    @property
+    def alpha(self) -> float:
+        """The paper's density exponent ``α`` with ``d = n^α``.
+
+        Computed as ``log(min_degree)/log(n)``.  Theorem 1 requires
+        ``α = Ω(1/log log n)``; see
+        :func:`repro.graphs.properties.is_dense_for_theorem1`.
+        """
+        n = self.num_vertices
+        if n <= 1:
+            raise ValueError("alpha is undefined for graphs with n <= 1")
+        d = self.min_degree
+        if d < 1:
+            raise ValueError("alpha is undefined for graphs with isolated vertices")
+        return math.log(d) / math.log(n)
+
+    def degree_volume(self, subset: np.ndarray | None = None) -> int:
+        """Sum of degrees ``d(X)`` over *subset* (all of ``V`` if ``None``).
+
+        This is the quantity the voter-model win probability and the [5]
+        spectral condition are stated in terms of.
+        """
+        if subset is None:
+            return int(self.degrees.sum())
+        subset = np.asarray(subset)
+        if subset.dtype == np.bool_:
+            if subset.shape != (self.num_vertices,):
+                raise ValueError(
+                    f"boolean mask must have shape ({self.num_vertices},), "
+                    f"got {subset.shape}"
+                )
+            return int(self.degrees[subset].sum())
+        return int(self.degrees[subset].sum())
+
+    # ------------------------------------------------------------------
+    # Optional materialisation (implicit hosts override; small-n only)
+    # ------------------------------------------------------------------
+
+    def to_csr(self) -> "CSRGraph":
+        """Materialise the graph as an explicit :class:`CSRGraph`.
+
+        Implicit hosts provide this for testing/spectral analysis at small
+        ``n``; the default raises because a generic ``Graph`` exposes no
+        adjacency enumeration.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support materialisation to CSR"
+        )
+
+    # ------------------------------------------------------------------
+    # Shared validation helpers for subclasses
+    # ------------------------------------------------------------------
+
+    def _check_vertices(self, vertices: np.ndarray) -> np.ndarray:
+        """Validate and canonicalise a vertex-id array for sampling calls."""
+        vertices = np.asarray(vertices)
+        if vertices.ndim != 1:
+            raise ValueError(
+                f"vertices must be a 1-D array, got shape {vertices.shape}"
+            )
+        if vertices.size and (
+            vertices.min() < 0 or vertices.max() >= self.num_vertices
+        ):
+            raise ValueError(
+                f"vertex ids must lie in [0, {self.num_vertices}), got range "
+                f"[{vertices.min()}, {vertices.max()}]"
+            )
+        return vertices.astype(np.int64, copy=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(n={self.num_vertices}, m={self.num_edges}, "
+            f"d_min={self.min_degree})"
+        )

@@ -1,0 +1,235 @@
+"""Explicit graphs in compressed-sparse-row (CSR) form.
+
+CSR is the cache-friendly layout for the one operation the dynamics needs:
+for each vertex ``v``, draw uniform entries of the contiguous slice
+``indices[indptr[v]:indptr[v+1]]``.  The whole per-round sampling step is a
+single fancy-indexing expression over an ``(n, k)`` offset matrix — no
+Python-level loop touches a vertex (optimisation guide: *vectorizing for
+loops*, *views not copies*).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.graphs.base import Graph
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph(Graph):
+    """A simple undirected graph stored as CSR adjacency.
+
+    Parameters
+    ----------
+    indptr:
+        Integer array of shape ``(n+1,)``; the neighbours of vertex ``v``
+        are ``indices[indptr[v]:indptr[v+1]]``.
+    indices:
+        Flat neighbour array of length ``2|E|`` (each undirected edge is
+        stored in both endpoints' slices).
+    validate:
+        When ``True`` (default) the constructor verifies structural
+        invariants: monotone ``indptr``, ids in range, no self-loops,
+        symmetry, and no isolated vertices.  Pass ``False`` only for data
+        produced by this library's own generators on hot paths.
+
+    Notes
+    -----
+    Neighbour lists need not be sorted; symmetry validation sorts copies.
+    The index dtype is chosen automatically (int32 when it fits) to halve
+    memory traffic on large dense graphs — see the cache-effects section of
+    the optimisation guide.
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        *,
+        validate: bool = True,
+    ) -> None:
+        indptr = np.asarray(indptr)
+        indices = np.asarray(indices)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise ValueError("indptr and indices must be 1-D arrays")
+        if indptr.size < 2:
+            raise ValueError("graph must have at least one vertex")
+        if int(indptr[0]) != 0 or int(indptr[-1]) != indices.size:
+            raise ValueError(
+                "indptr must start at 0 and end at len(indices) "
+                f"(got {indptr[0]}..{indptr[-1]} with {indices.size} indices)"
+            )
+        n = indptr.size - 1
+        idx_dtype = np.int32 if indices.size < np.iinfo(np.int32).max and n < np.iinfo(np.int32).max else np.int64
+        self._indptr = indptr.astype(np.int64, copy=False)
+        self._indices = indices.astype(idx_dtype, copy=False)
+        self._degrees = np.diff(self._indptr)
+        if validate:
+            self._validate()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls, n: int, edges: Iterable[tuple[int, int]] | np.ndarray, *, validate: bool = True
+    ) -> "CSRGraph":
+        """Build from an iterable of undirected edges ``(u, v)``.
+
+        Duplicate edges and self-loops are rejected during validation.
+        """
+        edge_arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+        if edge_arr.size == 0:
+            raise ValueError("graph must have at least one edge")
+        if edge_arr.ndim != 2 or edge_arr.shape[1] != 2:
+            raise ValueError(f"edges must have shape (m, 2), got {edge_arr.shape}")
+        u, v = edge_arr[:, 0], edge_arr[:, 1]
+        src = np.concatenate([u, v])
+        dst = np.concatenate([v, u])
+        order = np.argsort(src, kind="stable")
+        src, dst = src[order], dst[order]
+        counts = np.bincount(src, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, dst, validate=validate)
+
+    @classmethod
+    def from_networkx(cls, g, *, validate: bool = True) -> "CSRGraph":
+        """Build from a :class:`networkx.Graph` (nodes relabelled ``0..n-1``).
+
+        Node order follows ``g.nodes()`` iteration order.
+        """
+        import networkx as nx
+
+        if g.is_directed():
+            raise ValueError("only undirected networkx graphs are supported")
+        if g.number_of_nodes() == 0:
+            raise ValueError("graph must have at least one vertex")
+        mapping = {node: i for i, node in enumerate(g.nodes())}
+        relabelled = nx.relabel_nodes(g, mapping, copy=True)
+        edges = np.array(
+            [(u, v) for u, v in relabelled.edges() if u != v], dtype=np.int64
+        )
+        if edges.size == 0:
+            raise ValueError("graph must have at least one non-loop edge")
+        return cls.from_edges(g.number_of_nodes(), edges, validate=validate)
+
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph` (small graphs / debugging)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.num_vertices))
+        for v in range(self.num_vertices):
+            start, stop = self._indptr[v], self._indptr[v + 1]
+            for w in self._indices[start:stop]:
+                if v < int(w):
+                    g.add_edge(v, int(w))
+        return g
+
+    # ------------------------------------------------------------------
+    # Graph interface
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return self._indptr.size - 1
+
+    @property
+    def degrees(self) -> np.ndarray:
+        return self._degrees
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """Read-only view of the CSR row-pointer array."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Read-only view of the flat CSR neighbour array."""
+        return self._indices
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Neighbour slice of vertex *v* (a view, not a copy)."""
+        if not 0 <= v < self.num_vertices:
+            raise ValueError(f"vertex {v} out of range [0, {self.num_vertices})")
+        return self._indices[self._indptr[v] : self._indptr[v + 1]]
+
+    def sample_neighbors(
+        self, vertices: np.ndarray, k: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Vectorised uniform with-replacement neighbour sampling.
+
+        For row ``i`` with vertex ``v``: draw ``k`` offsets uniform in
+        ``[0, deg(v))`` and gather ``indices[indptr[v] + offset]``.  One
+        ``random`` call, one multiply, one gather — the engine's hot path.
+        """
+        vertices = self._check_vertices(vertices)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        deg = self._degrees[vertices]
+        starts = self._indptr[vertices]
+        # Uniform offsets via floor(U * deg): exact because deg < 2**53.
+        offsets = (rng.random((vertices.size, k)) * deg[:, None]).astype(np.int64)
+        return self._indices[starts[:, None] + offsets].astype(np.int64, copy=False)
+
+    def to_csr(self) -> "CSRGraph":
+        return self
+
+    # ------------------------------------------------------------------
+    # Sparse-matrix export (spectral analysis)
+    # ------------------------------------------------------------------
+
+    def adjacency_scipy(self):
+        """Return the adjacency matrix as ``scipy.sparse.csr_matrix``."""
+        import scipy.sparse as sp
+
+        data = np.ones(self._indices.size, dtype=np.float64)
+        return sp.csr_matrix(
+            (data, self._indices.astype(np.int64), self._indptr),
+            shape=(self.num_vertices, self.num_vertices),
+        )
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def _validate(self) -> None:
+        n = self.num_vertices
+        if np.any(np.diff(self._indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self._indices.size:
+            lo, hi = int(self._indices.min()), int(self._indices.max())
+            if lo < 0 or hi >= n:
+                raise ValueError(
+                    f"neighbour ids must lie in [0, {n}), got [{lo}, {hi}]"
+                )
+        if int(self._degrees.min()) < 1:
+            isolated = int(np.argmin(self._degrees))
+            raise ValueError(
+                f"graph has an isolated vertex (e.g. {isolated}); the "
+                "Best-of-k dynamics requires minimum degree >= 1"
+            )
+        # Self-loops.
+        for v in range(n):
+            row = self._indices[self._indptr[v] : self._indptr[v + 1]]
+            if np.any(row == v):
+                raise ValueError(f"self-loop at vertex {v}")
+        # Multi-edges within a row.
+        for v in range(n):
+            row = self._indices[self._indptr[v] : self._indptr[v + 1]]
+            if np.unique(row).size != row.size:
+                raise ValueError(f"duplicate neighbour entries at vertex {v}")
+        # Symmetry: the multiset of directed arcs must be closed under swap.
+        src = np.repeat(np.arange(n, dtype=np.int64), self._degrees)
+        dst = self._indices.astype(np.int64)
+        fwd = np.stack([src, dst], axis=1)
+        bwd = np.stack([dst, src], axis=1)
+        fwd_sorted = fwd[np.lexsort((fwd[:, 1], fwd[:, 0]))]
+        bwd_sorted = bwd[np.lexsort((bwd[:, 1], bwd[:, 0]))]
+        if not np.array_equal(fwd_sorted, bwd_sorted):
+            raise ValueError("adjacency structure is not symmetric")

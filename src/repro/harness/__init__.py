@@ -1,0 +1,21 @@
+"""Experiment harness: one module per paper claim (DESIGN.md §3).
+
+Each experiment module ``eNN_*`` exposes
+
+* ``EXPERIMENT_ID`` / ``TITLE`` / ``PAPER_CLAIM`` constants, and
+* ``run(quick=True, seed=0) -> ExperimentResult``
+
+where *quick* selects benchmark-friendly sizes (seconds) versus the full
+EXPERIMENTS.md sizes (minutes).  The registry maps ids to runners; the
+report module renders results for EXPERIMENTS.md.
+"""
+
+from repro.harness.base import ExperimentResult
+from repro.harness.registry import all_experiment_ids, get_runner, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "all_experiment_ids",
+    "get_runner",
+    "run_experiment",
+]

@@ -1,0 +1,69 @@
+"""Common result type for all harness experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.analysis.tables import format_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one reproduction experiment.
+
+    Attributes
+    ----------
+    experiment_id:
+        Id from DESIGN.md §3 (``"E1"`` … ``"E12"``).
+    title:
+        Short human title.
+    paper_claim:
+        The paper statement being reproduced (with its location).
+    columns / rows:
+        The regenerated table (rows are dicts keyed by column).
+    summary:
+        Bullet lines interpreting the table.
+    verdict:
+        One-line judgement (e.g. ``"SHAPE MATCH: loglog fit wins"``).
+    passed:
+        Machine-checkable version of the verdict.
+    extras:
+        Free-form artifacts (fits, plots as strings, raw arrays).
+    """
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    columns: Sequence[str]
+    rows: Sequence[Mapping[str, Any]]
+    summary: Sequence[str]
+    verdict: str
+    passed: bool
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def table_markdown(self) -> str:
+        """The regenerated table as markdown."""
+        return format_table(self.columns, self.rows)
+
+    def to_markdown(self) -> str:
+        """Full experiment section for EXPERIMENTS.md."""
+        lines = [
+            f"### {self.experiment_id} — {self.title}",
+            "",
+            f"**Paper claim.** {self.paper_claim}",
+            "",
+            self.table_markdown(),
+            "",
+        ]
+        for s in self.summary:
+            lines.append(f"- {s}")
+        lines.append("")
+        status = "PASS" if self.passed else "CHECK"
+        lines.append(f"**Verdict ({status}).** {self.verdict}")
+        if "plot" in self.extras:
+            lines.extend(["", "```", str(self.extras["plot"]), "```"])
+        lines.append("")
+        return "\n".join(lines)

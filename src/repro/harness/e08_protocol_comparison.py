@@ -1,0 +1,182 @@
+"""E8 — the introduction's protocol comparison.
+
+Runs every protocol the paper positions Best-of-3 against, on the same
+host with the same initial conditions:
+
+* Best-of-1 (voter model): no majority amplification — win probability
+  equals the degree-volume share (checked against the exact law) — and
+  Θ(n)-scale consensus time;
+* Best-of-2 (both tie rules) and Best-of-3: majority amplification with
+  fast consensus, Best-of-3 fastest;
+* Best-of-5/7 ([1]'s regime) for context;
+* deterministic local majority and 2-colour plurality as extra contrast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.experiments import run_consensus_ensemble
+from repro.analysis.stats import wilson_interval
+from repro.baselines.local_majority import local_majority_run
+from repro.baselines.voter import voter_win_probability
+from repro.core.dynamics import BestOfKDynamics, TieRule
+from repro.core.opinions import RED, exact_count_opinions, random_opinions
+from repro.graphs.generators import erdos_renyi
+from repro.harness.base import ExperimentResult
+from repro.util.rng import spawn_generators
+
+EXPERIMENT_ID = "E8"
+TITLE = "Best-of-k protocol comparison (introduction)"
+PAPER_CLAIM = (
+    "Introduction: the voter model (k=1) wins with probability equal to "
+    "the initial degree share and converges slowly; Best-of-2/3 converge "
+    "to the majority 'considerably faster', with Best-of-3 achieving "
+    "O(log log n) on dense graphs."
+)
+
+DELTA = 0.1
+
+
+def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
+    n = 1024 if quick else 4096
+    trials = 10 if quick else 30
+    g = erdos_renyi(n, 0.25, seed=(seed, 99))
+
+    protocols = [
+        ("voter (k=1)", lambda gg: BestOfKDynamics(gg, k=1)),
+        ("best-of-2 keep", lambda gg: BestOfKDynamics(gg, k=2, tie_rule=TieRule.KEEP_SELF)),
+        ("best-of-2 rand", lambda gg: BestOfKDynamics(gg, k=2, tie_rule=TieRule.RANDOM)),
+        ("best-of-3", lambda gg: BestOfKDynamics(gg, k=3)),
+        ("best-of-5", lambda gg: BestOfKDynamics(gg, k=5)),
+        ("best-of-7", lambda gg: BestOfKDynamics(gg, k=7)),
+    ]
+    rows = []
+    mean_by_name: dict[str, float] = {}
+    for i, (name, factory) in enumerate(protocols):
+        # Non-amplifying protocols (voter; best-of-2 with random ties is a
+        # martingale: E[b'] = b^2 + 2b(1-b)/2 = b) diffuse to consensus in
+        # Theta(n)-scale time and need the long budget.
+        slow = name.startswith("voter") or name == "best-of-2 rand"
+        max_steps = 50 * n if slow else 2000
+        ens = run_consensus_ensemble(
+            g,
+            trials=trials,
+            delta=DELTA,
+            seed=(seed, i),
+            dynamics_factory=factory,
+            max_steps=max_steps,
+        )
+        lo, hi = ens.red_win_interval()
+        rows.append(
+            {
+                "protocol": name,
+                "trials": ens.trials,
+                "converged": ens.converged,
+                "red win rate": ens.red_win_rate,
+                "win CI": f"[{lo:.2f},{hi:.2f}]",
+                "mean T": ens.mean_steps,
+                "max T": ens.max_steps,
+            }
+        )
+        mean_by_name[name] = ens.mean_steps
+
+    # Deterministic local majority (single run per initial condition).
+    gens = spawn_generators((seed, 7), trials)
+    lm_steps, lm_red = [], 0
+    for gen in gens:
+        res = local_majority_run(g, random_opinions(n, DELTA, rng=gen))
+        if res.outcome == "consensus":
+            lm_steps.append(res.steps)
+            lm_red += int(res.winner == RED)
+    rows.append(
+        {
+            "protocol": "local majority (det.)",
+            "trials": trials,
+            "converged": len(lm_steps),
+            "red win rate": lm_red / trials,
+            "win CI": "-",
+            "mean T": float(np.mean(lm_steps)) if lm_steps else float("nan"),
+            "max T": int(np.max(lm_steps)) if lm_steps else 0,
+        }
+    )
+
+    # Voter-model exact win law on conditioned counts.
+    voter_trials = 60 if quick else 200
+    blue0 = int(0.4 * n)
+    vg = spawn_generators((seed, 8), 2 * voter_trials)
+    voter = BestOfKDynamics(g, k=1)
+    red_wins = 0
+    predicted = None
+    for i in range(voter_trials):
+        init = exact_count_opinions(n, blue0, rng=vg[2 * i])
+        if predicted is None:
+            predicted = voter_win_probability(g, init)
+        res = voter.run(init, seed=vg[2 * i + 1], max_steps=100 * n, keep_final=False)
+        red_wins += int(res.converged and res.winner == RED)
+    lo, hi = wilson_interval(red_wins, voter_trials)
+    voter_law_ok = lo <= predicted <= hi
+    rows.append(
+        {
+            "protocol": f"voter law check (B0={blue0})",
+            "trials": voter_trials,
+            "converged": voter_trials,
+            "red win rate": red_wins / voter_trials,
+            "win CI": f"[{lo:.2f},{hi:.2f}]",
+            "mean T": float("nan"),
+            "max T": 0,
+        }
+    )
+
+    bo3_fast = mean_by_name["best-of-3"] * 10 <= mean_by_name["voter (k=1)"]
+    # Amplifying protocols: strict-majority samples drive E[b'] = 3b^2-2b^3
+    # (or sharper); best-of-2 with RANDOM ties is excluded because it is a
+    # martingale and wins only in proportion to the initial share.
+    amplifying = {"best-of-2 keep", "best-of-3", "best-of-5", "best-of-7"}
+    amplifies = all(
+        r["red win rate"] == 1.0 for r in rows if r["protocol"] in amplifying
+    )
+    bo2_rand_rate = next(
+        r["red win rate"] for r in rows if r["protocol"] == "best-of-2 rand"
+    )
+    passed = bo3_fast and amplifies and voter_law_ok
+
+    summary = [
+        f"best-of-3 mean T = {mean_by_name['best-of-3']:.1f} vs voter "
+        f"mean T = {mean_by_name['voter (k=1)']:.0f} "
+        f"({mean_by_name['voter (k=1)'] / mean_by_name['best-of-3']:.0f}x slower)",
+        f"voter win law: predicted P(red)={predicted:.3f}, Wilson CI "
+        f"[{lo:.3f},{hi:.3f}] — {'consistent' if voter_law_ok else 'INCONSISTENT'}",
+        "every amplifying protocol (best-of-2 KEEP, best-of-3/5/7) sent "
+        "red to victory in all trials"
+        if amplifies
+        else "an amplifying protocol lost a trial",
+        f"best-of-2 with RANDOM ties is a martingale (no amplification): "
+        f"red-win rate {bo2_rand_rate:.2f} tracks the initial red share "
+        "rather than certainty — the reason tie rule (i) is the "
+        "interesting Best-of-2 variant",
+    ]
+    verdict = (
+        "SHAPE MATCH: Best-of-3 is orders of magnitude faster than the "
+        "voter model, which obeys its exact degree-share win law"
+        if passed
+        else "MISMATCH: see summary"
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        columns=[
+            "protocol",
+            "trials",
+            "converged",
+            "red win rate",
+            "win CI",
+            "mean T",
+            "max T",
+        ],
+        rows=rows,
+        summary=summary,
+        verdict=verdict,
+        passed=passed,
+    )

@@ -1,0 +1,142 @@
+"""E9 — the minimum-degree (density) hypothesis matters.
+
+Theorem 1 needs ``d = n^α`` with ``α = Ω(1/log log n)``.  Two probes:
+
+1. *Fixed-n host sweep*: dense hosts (complete, rook, ER with
+   ``d ≈ √n``) finish within a small multiple of the Theorem 1 budget;
+   the constant-degree ring lattice fails to reach consensus at all
+   within a budget hundreds of times larger — surviving blue runs erode
+   only diffusively, so the doubly-logarithmic behaviour is genuinely a
+   density phenomenon, not a generic Best-of-3 property.
+2. *Sufficient-not-necessary control*: a clique with pendant vertices has
+   minimum degree 1 (violating the hypothesis maximally) yet converges
+   fast — pendants simply copy their anchor — showing the hypothesis is
+   consumed as a *sufficient* condition.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_consensus_ensemble
+from repro.core.recursions import consensus_time_bound
+from repro.graphs.generators import erdos_renyi, ring_lattice, star_polluted
+from repro.graphs.implicit import CompleteGraph, RookGraph
+from repro.graphs.properties import is_dense_for_theorem1
+from repro.harness.base import ExperimentResult
+
+EXPERIMENT_ID = "E9"
+TITLE = "Density threshold: alpha = Omega(1/log log n) is consumed"
+PAPER_CLAIM = (
+    "Theorem 1 hypothesis: minimum degree d = n^alpha with alpha = "
+    "Omega((log log n)^-1).  Constant-degree hosts lose the fast "
+    "convergence entirely (blue clusters survive), while dense hosts of "
+    "any structure finish within the double-log budget; the hypothesis "
+    "is sufficient, not necessary (pendant-polluted cliques still "
+    "converge)."
+)
+
+DELTA = 0.15
+
+
+def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
+    n_exp = 12 if quick else 14
+    n = 2**n_exp
+    trials = 6 if quick else 20
+    budget_cap = 800 if quick else 3000
+    m = 2 ** (n_exp // 2)
+    hosts = [
+        ("complete", CompleteGraph(n), "dense"),
+        ("rook", RookGraph(m), "dense"),
+        ("ER d~sqrt(n)", erdos_renyi(n, (n**0.5) / n, seed=(seed, 1)), "dense"),
+        ("ring lattice d=4", ring_lattice(n, 4), "sparse"),
+        ("clique + pendants", star_polluted(n - n // 8, n // 8), "control"),
+    ]
+    rows = []
+    stats: dict[str, dict] = {}
+    for i, (name, g, role) in enumerate(hosts):
+        dense = is_dense_for_theorem1(g)
+        budget = consensus_time_bound(g.num_vertices, max(g.min_degree, 3), DELTA)
+        ens = run_consensus_ensemble(
+            g, trials=trials, delta=DELTA, seed=(seed, 2, i), max_steps=budget_cap
+        )
+        stats[name] = {
+            "role": role,
+            "converged": ens.converged,
+            "red": ens.red_wins,
+            "mean": ens.mean_steps,
+            "max": ens.max_steps,
+            "budget": budget,
+        }
+        rows.append(
+            {
+                "host": name,
+                "n": g.num_vertices,
+                "d_min": g.min_degree,
+                "alpha": round(g.alpha, 3),
+                "dense (Thm1)": dense,
+                "converged": f"{ens.converged}/{ens.trials}",
+                "red wins": ens.red_wins,
+                "mean T": ens.mean_steps,
+                "max T": ens.max_steps,
+                "Thm1 budget": budget,
+            }
+        )
+
+    dense_names = [nm for nm, st in stats.items() if st["role"] == "dense"]
+    dense_fast = all(
+        stats[nm]["converged"] == trials
+        and stats[nm]["red"] == trials
+        and stats[nm]["max"] <= 3 * stats[nm]["budget"]
+        for nm in dense_names
+    )
+    worst_dense = max(stats[nm]["max"] for nm in dense_names)
+    ring = stats["ring lattice d=4"]
+    # The sparse host must visibly lose the fast regime: most trials fail
+    # to converge within a budget >100x the dense consensus time, or are
+    # at least an order of magnitude slower.
+    ring_slow = ring["converged"] <= trials // 2 or (
+        ring["mean"] >= 10.0 * max(worst_dense, 1)
+    )
+    control = stats["clique + pendants"]
+    control_fast = (
+        control["converged"] == trials
+        and control["red"] == trials
+        and control["max"] <= 3 * worst_dense + 5
+    )
+    passed = dense_fast and ring_slow and control_fast
+
+    summary = [
+        f"dense hosts: all red, worst max T = {worst_dense} vs budget cap "
+        f"{budget_cap} ({budget_cap // max(worst_dense, 1)}x headroom)",
+        f"ring lattice: {ring['converged']}/{trials} trials converged "
+        f"within {budget_cap} rounds — constant-degree hosts leave the "
+        "double-log regime entirely (blue runs erode diffusively)",
+        "clique + pendants (min degree 1, alpha = 0) converges as fast "
+        "as the dense hosts: the hypothesis is sufficient, not necessary",
+    ]
+    verdict = (
+        "SHAPE MATCH: fast consensus appears on dense hosts and "
+        "collapses on the constant-degree host"
+        if passed
+        else "MISMATCH: see summary"
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        columns=[
+            "host",
+            "n",
+            "d_min",
+            "alpha",
+            "dense (Thm1)",
+            "converged",
+            "red wins",
+            "mean T",
+            "max T",
+            "Thm1 budget",
+        ],
+        rows=rows,
+        summary=summary,
+        verdict=verdict,
+        passed=passed,
+    )

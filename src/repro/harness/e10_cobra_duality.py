@@ -1,0 +1,127 @@
+"""E10 — Remark 2: the voting-DAG is a COBRA-walk trajectory.
+
+Two checks of the duality:
+
+1. *Coupled equality*: driving :meth:`VotingDAG.sample` and
+   :func:`cobra_walk` with the same random stream yields
+   ``levels[T−t] == occupied[t]`` exactly, for every ``t`` — the two
+   constructions are the same stochastic recursion.
+2. *Distributional equality*: with independent streams, the per-time
+   occupied-set *sizes* have the same distribution as the corresponding
+   DAG level sizes (two-sample chi-squared on the size histograms).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.core.voting_dag import VotingDAG
+from repro.dual.cobra import cobra_walk
+from repro.graphs.implicit import CompleteGraph
+from repro.harness.base import ExperimentResult
+from repro.util.rng import spawn_generators
+
+EXPERIMENT_ID = "E10"
+TITLE = "COBRA-walk duality of the voting-DAG (Remark 2)"
+PAPER_CLAIM = (
+    "Remark 2: the random voting-DAG H(v0) of T levels is the trajectory "
+    "of T steps of a k=3 COBRA walk started at v0; level T-t of H is the "
+    "set of occupied vertices at time t."
+)
+
+
+def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
+    n = 512
+    T = 4
+    n_pairs = 200 if quick else 1000
+    g = CompleteGraph(n)
+
+    # 1. Coupled equality.
+    coupled_gens = spawn_generators((seed, 1), 2 * 50)
+    coupled_ok = True
+    for i in range(50):
+        ss = coupled_gens[2 * i].bit_generator.seed_seq
+        dag = VotingDAG.sample(g, root=i % n, T=T, rng=np.random.Generator(np.random.PCG64(ss)))
+        walk = cobra_walk(g, i % n, T, k=3, rng=np.random.Generator(np.random.PCG64(ss)))
+        if not walk.matches_dag_levels(dag):
+            coupled_ok = False
+
+    # 2. Distributional equality of level sizes at each time.
+    gens = spawn_generators((seed, 2), 2 * n_pairs)
+    dag_sizes = np.empty((n_pairs, T + 1), dtype=np.int64)
+    walk_sizes = np.empty((n_pairs, T + 1), dtype=np.int64)
+    for i in range(n_pairs):
+        dag = VotingDAG.sample(g, root=0, T=T, rng=gens[2 * i])
+        walk = cobra_walk(g, 0, T, k=3, rng=gens[2 * i + 1])
+        dag_sizes[i] = dag.level_sizes()[::-1]  # index by COBRA time
+        walk_sizes[i] = walk.sizes()
+
+    rows = []
+    dist_ok = True
+    for t in range(T + 1):
+        a, b = dag_sizes[:, t], walk_sizes[:, t]
+        if t == 0:
+            pvalue = 1.0  # both are always the singleton start
+        else:
+            lo = int(min(a.min(), b.min()))
+            hi = int(max(a.max(), b.max()))
+            bins = np.arange(lo, hi + 2)
+            ha = np.histogram(a, bins=bins)[0]
+            hb = np.histogram(b, bins=bins)[0]
+            keep = (ha + hb) >= 5  # merge sparse cells for validity
+            ha2 = np.append(ha[keep], ha[~keep].sum())
+            hb2 = np.append(hb[keep], hb[~keep].sum())
+            mask = (ha2 + hb2) > 0
+            table = np.stack([ha2[mask], hb2[mask]])
+            if table.shape[1] < 2:
+                pvalue = 1.0
+            else:
+                pvalue = float(stats.chi2_contingency(table)[1])
+        ok = pvalue > 0.001
+        dist_ok &= ok
+        rows.append(
+            {
+                "COBRA time t": t,
+                "DAG level": T - t,
+                "mean |level|": float(dag_sizes[:, t].mean()),
+                "mean |occupied|": float(walk_sizes[:, t].mean()),
+                "chi2 p-value": pvalue,
+                "consistent": ok,
+            }
+        )
+
+    passed = coupled_ok and dist_ok
+    summary = [
+        "shared-stream construction gives exact level-by-level equality "
+        "in all 50 coupled runs"
+        if coupled_ok
+        else "coupled equality FAILED",
+        "independent-stream level sizes are distributionally "
+        "indistinguishable (chi-squared, alpha=0.001) at every time step"
+        if dist_ok
+        else "a time step shows a distributional mismatch",
+    ]
+    verdict = (
+        "SHAPE MATCH: the voting-DAG and the k=3 COBRA walk are the same "
+        "process, exactly as Remark 2 states"
+        if passed
+        else "MISMATCH: see summary"
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        columns=[
+            "COBRA time t",
+            "DAG level",
+            "mean |level|",
+            "mean |occupied|",
+            "chi2 p-value",
+            "consistent",
+        ],
+        rows=rows,
+        summary=summary,
+        verdict=verdict,
+        passed=passed,
+    )

@@ -1,0 +1,174 @@
+"""E12 — i.i.d. versus adversarial initial placement.
+
+Section 2 stresses that the paper's proof exploits the *randomised
+location* of the initial opinions — unlike Cooper et al. [5], whose
+technique tolerates an adversary relocating opinions while preserving
+counts.  We measure Best-of-3 behaviour at a fixed blue *count* under
+(a) uniform placement and (b) adversarial placements, on two hosts:
+
+* a two-clique bridge, where packing all blue into one clique flips that
+  clique locally blue and leaves the process in a metastable split —
+  adversarial placement breaks fast majority consensus;
+* a dense ER host, where placement barely matters (every neighbourhood
+  is a fair sample of the population) — consistent with the paper's
+  result needing only i.i.d.-ness, not any placement structure, on
+  genuinely dense graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dynamics import BestOfKDynamics
+from repro.core.opinions import RED, adversarial_opinions, exact_count_opinions
+from repro.graphs.generators import erdos_renyi, two_clique_bridge
+from repro.harness.base import ExperimentResult
+from repro.util.rng import spawn_generators
+
+EXPERIMENT_ID = "E12"
+TITLE = "i.i.d. vs adversarial opinion placement"
+PAPER_CLAIM = (
+    "Section 2: the proof tracks the configuration of opinions, relying "
+    "on the initial randomisation; by contrast [5] works under an "
+    "adversary that may reorganise opinions keeping counts fixed.  With "
+    "equal counts, adversarial packing can stall majority consensus on "
+    "low-conductance hosts, while on dense hosts placement is "
+    "immaterial."
+)
+
+BLUE_FRACTION = 0.4
+
+
+def _ensemble(graph, make_init, trials, seed, max_steps):
+    dyn = BestOfKDynamics(graph, k=3)
+    gens = spawn_generators(seed, 2 * trials)
+    red, conv, steps = 0, 0, []
+    for i in range(trials):
+        init = make_init(gens[2 * i])
+        res = dyn.run(init, seed=gens[2 * i + 1], max_steps=max_steps, keep_final=False)
+        if res.converged:
+            conv += 1
+            steps.append(res.steps)
+            red += int(res.winner == RED)
+    mean_t = float(np.mean(steps)) if steps else float("nan")
+    max_t = int(np.max(steps)) if steps else 0
+    return red, conv, mean_t, max_t
+
+
+def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
+    half = 192 if quick else 512
+    trials = 8 if quick else 25
+    max_steps = 600 if quick else 2000
+    bridge = two_clique_bridge(half, bridges=1)
+    n_b = bridge.num_vertices
+    blue_b = int(BLUE_FRACTION * n_b)
+
+    er = erdos_renyi(n_b, 0.2, seed=(seed, 0))
+    blue_e = int(BLUE_FRACTION * n_b)
+
+    cases = [
+        (
+            "bridge / uniform",
+            bridge,
+            lambda rng: exact_count_opinions(n_b, blue_b, rng=rng),
+        ),
+        (
+            "bridge / packed (block)",
+            bridge,
+            lambda rng: adversarial_opinions(bridge, blue_b, "block", rng=rng),
+        ),
+        (
+            "ER dense / uniform",
+            er,
+            lambda rng: exact_count_opinions(n_b, blue_e, rng=rng),
+        ),
+        (
+            "ER dense / high-degree",
+            er,
+            lambda rng: adversarial_opinions(er, blue_e, "high_degree", rng=rng),
+        ),
+        (
+            "ER dense / cluster (BFS)",
+            er,
+            lambda rng: adversarial_opinions(er, blue_e, "cluster", rng=rng),
+        ),
+    ]
+
+    rows = []
+    stats: dict[str, tuple] = {}
+    for i, (name, graph, make_init) in enumerate(cases):
+        red, conv, mean_t, max_t = _ensemble(
+            graph, make_init, trials, (seed, 1, i), max_steps
+        )
+        stats[name] = (red, conv, mean_t, max_t)
+        rows.append(
+            {
+                "case": name,
+                "blue count": blue_b,
+                "trials": trials,
+                "converged": conv,
+                "red wins": red,
+                "mean T": mean_t,
+                "max T": max_t,
+            }
+        )
+
+    uniform_fast = (
+        stats["bridge / uniform"][1] == trials
+        and stats["bridge / uniform"][0] == trials
+    )
+    packed = stats["bridge / packed (block)"]
+    # Adversarial packing must visibly break the fast-red behaviour:
+    # non-convergence within the budget, a blue/metastable outcome, or a
+    # large slowdown.
+    packed_broken = (
+        packed[1] < trials
+        or packed[0] < packed[1]
+        or packed[2] >= 5.0 * max(stats["bridge / uniform"][2], 1.0)
+    )
+    er_uniform = stats["ER dense / uniform"]
+    er_insensitive = all(
+        stats[k][1] == trials
+        and stats[k][0] == trials
+        and stats[k][2] <= 3.0 * max(er_uniform[2], 1.0)
+        for k in ("ER dense / high-degree", "ER dense / cluster (BFS)")
+    )
+    passed = uniform_fast and packed_broken and er_insensitive
+
+    summary = [
+        "uniform placement on the bridge host: fast all-red consensus in "
+        "every trial",
+        "packing the same blue count into one clique "
+        + (
+            "stalls or flips the process (metastable split)"
+            if packed_broken
+            else "did NOT break consensus — unexpected"
+        ),
+        "on the dense ER host all adversarial placements behave like "
+        "uniform placement — dense neighbourhoods re-randomise the "
+        "configuration in one round",
+    ]
+    verdict = (
+        "SHAPE MATCH: random location is load-bearing on low-conductance "
+        "hosts and immaterial on dense hosts, as §2 argues"
+        if passed
+        else "MISMATCH: see summary"
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        columns=[
+            "case",
+            "blue count",
+            "trials",
+            "converged",
+            "red wins",
+            "mean T",
+            "max T",
+        ],
+        rows=rows,
+        summary=summary,
+        verdict=verdict,
+        passed=passed,
+    )

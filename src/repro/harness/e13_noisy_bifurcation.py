@@ -1,0 +1,107 @@
+"""E13 (extension) — noise bifurcation of Best-of-Three.
+
+Not in the paper: the natural robustness question its model invites.
+With probability ``eta`` a vertex adopts a coin flip instead of the
+sample majority.  The mean-field map ``(1−eta)(3b²−2b³) + eta/2``
+predicts a pitchfork at ``eta* = 1/3`` (derived via the same ``1/(2√3)``
+gap constant that rules Lemma 4): below it the dynamics remembers the
+initial majority at a metastable level equal to the map's stable fixed
+point; above it the majority signal is destroyed.  The experiment sweeps
+``eta`` across the transition and checks simulation against the exact
+fixed points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.opinions import random_opinions
+from repro.extensions.noisy_dynamics import (
+    CRITICAL_NOISE,
+    noisy_best_of_three_run,
+    noisy_fixed_points,
+)
+from repro.graphs.implicit import CompleteGraph
+from repro.harness.base import ExperimentResult
+from repro.util.rng import spawn_generators
+
+EXPERIMENT_ID = "E13"
+TITLE = "Noise bifurcation of Best-of-Three (extension)"
+PAPER_CLAIM = (
+    "Extension beyond the paper: with eta-probability random adoption, "
+    "the mean-field map (1-eta)(3b^2-2b^3)+eta/2 has a pitchfork at "
+    "eta* = 1/3 — metastable majority memory below, symmetric noise "
+    "above.  Simulation on a dense host must land on the exact fixed "
+    "points."
+)
+
+DELTA = 0.1
+
+
+def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
+    n = 20_000 if quick else 100_000
+    rounds = 80 if quick else 200
+    etas = [0.0, 0.1, 0.2, 0.3, 0.4, 0.6]
+    g = CompleteGraph(n)
+    gens = spawn_generators(seed, 2 * len(etas))
+
+    rows = []
+    all_ok = True
+    for i, eta in enumerate(etas):
+        init = random_opinions(n, DELTA, rng=gens[2 * i])
+        res = noisy_best_of_three_run(
+            g, init, eta, seed=gens[2 * i + 1], rounds=rounds
+        )
+        pts = noisy_fixed_points(eta)
+        predicted = pts[0] if eta < CRITICAL_NOISE else 0.5
+        tol = 0.02 + 3.0 / np.sqrt(n)
+        ok = abs(res.stationary_blue_fraction - predicted) <= tol
+        subcritical = eta < CRITICAL_NOISE
+        if subcritical:
+            ok &= res.majority_preserved
+        all_ok &= ok
+        rows.append(
+            {
+                "eta": eta,
+                "regime": "subcritical" if subcritical else "supercritical",
+                "stationary blue": res.stationary_blue_fraction,
+                "predicted fixed point": predicted,
+                "majority preserved": res.majority_preserved,
+                "ok": ok,
+            }
+        )
+
+    passed = all_ok
+    summary = [
+        f"critical noise eta* = 1/3; sweep crosses it between 0.3 and 0.4",
+        "every sweep point lands on its exact mean-field fixed point "
+        "(within 2% + sampling error) and sub-critical runs preserve the "
+        "initial majority"
+        if all_ok
+        else "a sweep point missed its predicted level",
+        "the transition constant comes from the same f(x) = x/2 - 2x^3 "
+        "structure that sets the paper's 1/(2*sqrt(3)) phase boundary",
+    ]
+    verdict = (
+        "SHAPE MATCH: the predicted pitchfork at eta* = 1/3 is exactly "
+        "where simulation loses the majority signal"
+        if passed
+        else "MISMATCH: see summary"
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        columns=[
+            "eta",
+            "regime",
+            "stationary blue",
+            "predicted fixed point",
+            "majority preserved",
+            "ok",
+        ],
+        rows=rows,
+        summary=summary,
+        verdict=verdict,
+        passed=passed,
+    )

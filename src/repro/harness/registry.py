@@ -1,0 +1,55 @@
+"""Registry mapping experiment ids to runner callables (lazy imports)."""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable
+
+from repro.harness.base import ExperimentResult
+
+__all__ = ["all_experiment_ids", "get_runner", "run_experiment"]
+
+_MODULES: dict[str, str] = {
+    "E1": "repro.harness.e01_consensus_scaling",
+    "E2": "repro.harness.e02_delta_dependence",
+    "E3": "repro.harness.e03_recursion_tracking",
+    "E4": "repro.harness.e04_sprinkling_majorization",
+    "E5": "repro.harness.e05_phase_structure",
+    "E6": "repro.harness.e06_collision_bounds",
+    "E7": "repro.harness.e07_figure1_sprinkling",
+    "E8": "repro.harness.e08_protocol_comparison",
+    "E9": "repro.harness.e09_density_threshold",
+    "E10": "repro.harness.e10_cobra_duality",
+    "E11": "repro.harness.e11_best_of_two_conditions",
+    "E12": "repro.harness.e12_adversarial_placement",
+    # Extensions beyond the paper (DESIGN.md §3.2).
+    "E13": "repro.harness.e13_noisy_bifurcation",
+    "E14": "repro.harness.e14_async_equivalence",
+    "E15": "repro.harness.e15_zealot_threshold",
+    "E16": "repro.harness.e16_cobra_cover",
+}
+
+
+def all_experiment_ids() -> list[str]:
+    """All registered experiment ids in DESIGN.md order."""
+    return list(_MODULES)
+
+
+def get_runner(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Import and return the ``run`` callable of an experiment."""
+    try:
+        module_name = _MODULES[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment id {experiment_id!r}; known: "
+            f"{', '.join(_MODULES)}"
+        ) from None
+    module = importlib.import_module(module_name)
+    return module.run
+
+
+def run_experiment(
+    experiment_id: str, *, quick: bool = True, seed: int = 0
+) -> ExperimentResult:
+    """Run one experiment by id."""
+    return get_runner(experiment_id)(quick=quick, seed=seed)

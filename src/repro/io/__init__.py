@@ -1,0 +1,24 @@
+"""Result persistence and the command-line interface.
+
+:mod:`repro.io.results` serialises :class:`~repro.harness.base.ExperimentResult`
+objects (and ensemble summaries) to JSON and back, so experiment outputs
+can be archived, diffed across runs, and post-processed without
+re-simulating.  :mod:`repro.io.cli` is the ``python -m repro`` entry
+point: list experiments, run them, write reports.
+"""
+
+from repro.io.results import (
+    ensemble_to_dict,
+    load_results,
+    result_from_dict,
+    result_to_dict,
+    save_results,
+)
+
+__all__ = [
+    "result_to_dict",
+    "result_from_dict",
+    "ensemble_to_dict",
+    "save_results",
+    "load_results",
+]

@@ -1,0 +1,123 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+``list``
+    Show every registered experiment with its paper claim.
+``run E4 E7 ...``
+    Run experiments (quick mode by default), print their tables, and
+    optionally archive the results as JSON.
+``report``
+    Regenerate EXPERIMENTS.md (thin wrapper over
+    :mod:`repro.harness.report`).
+``demo``
+    The quickstart: one Best-of-Three run on a dense host with the
+    Theorem 1 certificate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+
+from repro._version import __version__
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Best-of-Three Voting on Dense Graphs — reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    run_p = sub.add_parser("run", help="run experiments and print tables")
+    run_p.add_argument("ids", nargs="+", help="experiment ids (e.g. E1 E7)")
+    run_p.add_argument("--full", action="store_true", help="full sweep sizes")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--save", metavar="PATH", help="archive results as JSON")
+
+    rep_p = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    rep_p.add_argument("--full", action="store_true")
+    rep_p.add_argument("--seed", type=int, default=0)
+    rep_p.add_argument("--out", default="EXPERIMENTS.md")
+
+    demo_p = sub.add_parser("demo", help="one Best-of-Three run, end to end")
+    demo_p.add_argument("--n", type=int, default=100_000)
+    demo_p.add_argument("--delta", type=float, default=0.1)
+    demo_p.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.harness.registry import _MODULES, all_experiment_ids
+
+    for eid in all_experiment_ids():
+        mod = importlib.import_module(_MODULES[eid])
+        print(f"{eid:>4}  {mod.TITLE}")
+        print(f"      {mod.PAPER_CLAIM[:100]}...")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.harness.registry import run_experiment
+    from repro.io.results import save_results
+
+    results = []
+    failures = 0
+    for eid in args.ids:
+        res = run_experiment(eid, quick=not args.full, seed=args.seed)
+        results.append(res)
+        print(res.to_markdown())
+        failures += not res.passed
+    if args.save:
+        save_results(results, args.save)
+        print(f"archived {len(results)} result(s) to {args.save}")
+    return 1 if failures else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.harness.report import main as report_main
+
+    argv = ["--seed", str(args.seed), "--out", args.out]
+    if args.full:
+        argv.append("--full")
+    return report_main(argv)
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import CompleteGraph, best_of_three, check_hypotheses, random_opinions
+
+    graph = CompleteGraph(args.n)
+    cert = check_hypotheses(graph, args.delta)
+    print(f"host K_{args.n}, delta={args.delta}")
+    print(f"hypotheses met: {cert.hypotheses_met}; budget {cert.predicted_rounds}")
+    result = best_of_three(graph).run(
+        random_opinions(args.n, args.delta, rng=args.seed), seed=args.seed + 1
+    )
+    winner = "red" if result.winner == 0 else "blue"
+    print(f"consensus: {winner} in {result.steps} rounds")
+    print(f"trajectory: {result.blue_trajectory.tolist()}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "demo":
+        return _cmd_demo(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""JSON serialisation of experiment and ensemble results.
+
+Only JSON-native types are emitted: NumPy scalars/arrays are converted on
+the way out and restored as plain lists on the way in (consumers that
+need arrays re-wrap explicitly).  Non-serialisable ``extras`` entries
+(fit objects, plots that aren't strings) are stringified with a marker so
+saving never fails and the archive stays human-inspectable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro._version import __version__
+from repro.analysis.experiments import ConsensusEnsemble
+from repro.harness.base import ExperimentResult
+
+__all__ = [
+    "result_to_dict",
+    "result_from_dict",
+    "ensemble_to_dict",
+    "save_results",
+    "load_results",
+]
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of *value* to JSON-native types."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return f"<unserialisable:{type(value).__name__}>{value!r}"
+
+
+def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
+    """Convert an :class:`ExperimentResult` into a JSON-ready dict."""
+    return {
+        "schema": "repro.experiment_result/1",
+        "library_version": __version__,
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "paper_claim": result.paper_claim,
+        "columns": list(result.columns),
+        "rows": [_jsonable(dict(r)) for r in result.rows],
+        "summary": list(result.summary),
+        "verdict": result.verdict,
+        "passed": bool(result.passed),
+        "extras": _jsonable(result.extras),
+    }
+
+
+def result_from_dict(payload: dict[str, Any]) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from :func:`result_to_dict` output.
+
+    Raises
+    ------
+    ValueError
+        If the payload does not carry the expected schema marker.
+    """
+    if payload.get("schema") != "repro.experiment_result/1":
+        raise ValueError(
+            f"unrecognised payload schema {payload.get('schema')!r}"
+        )
+    return ExperimentResult(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        paper_claim=payload["paper_claim"],
+        columns=list(payload["columns"]),
+        rows=[dict(r) for r in payload["rows"]],
+        summary=list(payload["summary"]),
+        verdict=payload["verdict"],
+        passed=bool(payload["passed"]),
+        extras=dict(payload.get("extras", {})),
+    )
+
+
+def ensemble_to_dict(ensemble: ConsensusEnsemble) -> dict[str, Any]:
+    """Summarise a :class:`ConsensusEnsemble` as a JSON-ready dict."""
+    return {
+        "schema": "repro.consensus_ensemble/1",
+        "trials": ensemble.trials,
+        "unconverged": ensemble.unconverged,
+        "steps": ensemble.steps.tolist(),
+        "winners": ensemble.winners.tolist(),
+        "red_wins": ensemble.red_wins,
+        "red_win_rate": ensemble.red_win_rate,
+        "mean_steps": None if np.isnan(ensemble.mean_steps) else ensemble.mean_steps,
+        "max_steps": ensemble.max_steps,
+    }
+
+
+def save_results(
+    results: list[ExperimentResult], path: str | Path, *, indent: int = 2
+) -> None:
+    """Write experiment results to *path* as a JSON document."""
+    payload = {
+        "schema": "repro.result_archive/1",
+        "library_version": __version__,
+        "results": [result_to_dict(r) for r in results],
+    }
+    Path(path).write_text(json.dumps(payload, indent=indent), encoding="utf-8")
+
+
+def load_results(path: str | Path) -> list[ExperimentResult]:
+    """Read experiment results previously written by :func:`save_results`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("schema") != "repro.result_archive/1":
+        raise ValueError(
+            f"unrecognised archive schema {payload.get('schema')!r}"
+        )
+    return [result_from_dict(item) for item in payload["results"]]

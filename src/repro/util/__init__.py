@@ -1,0 +1,39 @@
+"""Shared utilities: RNG management, validation, timing, exact references.
+
+Nothing in this subpackage is specific to voting dynamics; it provides the
+infrastructure idioms used throughout the library:
+
+* :mod:`repro.util.rng` — deterministic, spawnable random streams built on
+  :class:`numpy.random.SeedSequence` so that every experiment is replayable
+  and trials are statistically independent.
+* :mod:`repro.util.validation` — argument-checking helpers that raise
+  uniform, informative errors.
+* :mod:`repro.util.timing` — a tiny wall-clock timer used by the harness.
+* :mod:`repro.util.fraction_ref` — exact rational-arithmetic reference
+  implementations of the paper's recursions, used by the test suite to
+  validate the float64 fast paths.
+"""
+
+from repro.util.rng import RngStreams, as_generator, spawn_generators
+from repro.util.timing import Timer
+from repro.util.validation import (
+    check_fraction,
+    check_in_range,
+    check_nonnegative_int,
+    check_odd,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "RngStreams",
+    "as_generator",
+    "spawn_generators",
+    "Timer",
+    "check_fraction",
+    "check_in_range",
+    "check_nonnegative_int",
+    "check_odd",
+    "check_positive_int",
+    "check_probability",
+]

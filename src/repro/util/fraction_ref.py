@@ -1,0 +1,109 @@
+"""Exact rational-arithmetic references for the paper's recursions.
+
+The production recursions in :mod:`repro.core.recursions` run in float64
+for speed.  The functions here recompute the same maps with
+:class:`fractions.Fraction`, i.e. with *no* rounding error, and exist so the
+test suite can certify that the float64 trajectories agree with exact
+arithmetic over the iteration ranges the proofs use (DESIGN.md ablation 5).
+
+They are deliberately slow and should never appear in a hot path.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, List, Sequence, Union
+
+__all__ = [
+    "ideal_step_exact",
+    "ideal_trajectory_exact",
+    "sprinkled_step_exact",
+    "sprinkled_trajectory_exact",
+    "gap_step_lower_exact",
+]
+
+RationalLike = Union[int, str, Fraction]
+
+
+def _frac(x: RationalLike) -> Fraction:
+    if isinstance(x, Fraction):
+        return x
+    return Fraction(x)
+
+
+def ideal_step_exact(b: RationalLike) -> Fraction:
+    """Exact evaluation of equation (1): ``b -> 3 b^2 - 2 b^3``.
+
+    This is the probability that a Binomial(3, b) sample is >= 2, i.e. the
+    blue-update probability on an idealised ternary tree (paper §2, eq. 1).
+    """
+    b = _frac(b)
+    if not (0 <= b <= 1):
+        raise ValueError(f"b must be a probability, got {b}")
+    return 3 * b * b - 2 * b * b * b
+
+
+def ideal_trajectory_exact(b0: RationalLike, steps: int) -> List[Fraction]:
+    """Iterate :func:`ideal_step_exact` ``steps`` times, returning all iterates.
+
+    The returned list has ``steps + 1`` entries starting at ``b0``.
+    """
+    if steps < 0:
+        raise ValueError(f"steps must be >= 0, got {steps}")
+    out = [_frac(b0)]
+    for _ in range(steps):
+        out.append(ideal_step_exact(out[-1]))
+    return out
+
+
+def sprinkled_step_exact(p: RationalLike, eps: RationalLike) -> Fraction:
+    """Exact evaluation of the *expanded* right-hand side of equation (2).
+
+    ``p -> (3p^2 - 2p^3)(1-e)^3 + (2p - p^2) * 3 e (1-e)^2 + 3 e^2 (1-e) + e^3``
+
+    This is the exact collision-aware one-step upper bound before the paper
+    relaxes it to ``3p^2 - 2p^3 + 6 p e + 3 e^2 + e^3``; we implement the
+    tight version and tests verify the relaxation dominates it.
+    """
+    p, e = _frac(p), _frac(eps)
+    if not (0 <= p <= 1):
+        raise ValueError(f"p must be a probability, got {p}")
+    if not (0 <= e <= 1):
+        raise ValueError(f"eps must be a probability, got {e}")
+    no_collision = (3 * p * p - 2 * p**3) * (1 - e) ** 3
+    one_collision = (2 * p - p * p) * 3 * e * (1 - e) ** 2
+    two_collisions = 3 * e * e * (1 - e)
+    three_collisions = e**3
+    return no_collision + one_collision + two_collisions + three_collisions
+
+
+def sprinkled_trajectory_exact(
+    p0: RationalLike, eps_schedule: Sequence[RationalLike]
+) -> List[Fraction]:
+    """Iterate :func:`sprinkled_step_exact` down an epsilon schedule.
+
+    ``eps_schedule[t]`` is the collision-probability bound used at step
+    ``t -> t+1`` (the paper's ``eps_{t-1} = 3^{T-t+1}/d``); the result has
+    ``len(eps_schedule) + 1`` entries.
+    """
+    out = [_frac(p0)]
+    for e in eps_schedule:
+        nxt = sprinkled_step_exact(out[-1], e)
+        out.append(min(nxt, Fraction(1)))
+    return out
+
+
+def gap_step_lower_exact(delta: RationalLike, eps: RationalLike) -> Fraction:
+    """Exact evaluation of the equation (4) lower bound on the gap growth.
+
+    ``delta -> delta + (delta/2 - 2 delta^3 - 4 eps)``
+
+    where ``delta_t = 1/2 - p_t`` (paper §3, Lemma 4 phase (i)).
+    """
+    d, e = _frac(delta), _frac(eps)
+    return d + (d / 2 - 2 * d**3 - 4 * e)
+
+
+def as_floats(xs: Iterable[Fraction]) -> List[float]:
+    """Convenience: convert exact iterates for comparison with float paths."""
+    return [float(x) for x in xs]

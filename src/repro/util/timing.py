@@ -1,0 +1,45 @@
+"""Minimal wall-clock timing used by the experiment harness.
+
+The experiment harness reports wall time per experiment stage; the
+pytest-benchmark suite remains the authoritative performance measurement
+(per the optimisation guide: *no optimisation without measuring*).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer"]
+
+
+@dataclass
+class Timer:
+    """Context-manager stopwatch accumulating elapsed wall time.
+
+    Examples
+    --------
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float | None = field(default=None, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None, "Timer.__exit__ without __enter__"
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+
+    def reset(self) -> None:
+        """Zero the accumulated time (not valid while running)."""
+        if self._start is not None:
+            raise RuntimeError("cannot reset a running Timer")
+        self.elapsed = 0.0

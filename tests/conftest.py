@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import erdos_renyi, random_regular
+from repro.graphs.implicit import CompleteGraph
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def k5() -> CSRGraph:
+    """The complete graph K5 as an explicit CSR graph."""
+    return CompleteGraph(5).to_csr()
+
+
+@pytest.fixture(scope="session")
+def triangle() -> CSRGraph:
+    """The 3-cycle."""
+    return CSRGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+
+
+@pytest.fixture(scope="session")
+def path4() -> CSRGraph:
+    """The path on 4 vertices (min degree 1, non-regular)."""
+    return CSRGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+
+
+@pytest.fixture(scope="session")
+def er_medium() -> CSRGraph:
+    """A dense-ish ER graph reused by expensive tests."""
+    return erdos_renyi(400, 0.25, seed=777)
+
+
+@pytest.fixture(scope="session")
+def regular_medium() -> CSRGraph:
+    """A random 16-regular graph reused by expensive tests."""
+    return random_regular(300, 16, seed=778)

@@ -1,0 +1,79 @@
+"""Tests for growth-law fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import (
+    fit_growth_models,
+    geometric_growth_rate,
+)
+
+
+class TestFitGrowthModels:
+    def test_recovers_loglog_law(self):
+        n = np.array([2.0**k for k in range(6, 22, 2)])
+        t = 3.0 * np.log(np.log(n)) + 2.0
+        fits = fit_growth_models(n, t)
+        assert fits["loglog"].rmse < 1e-9
+        assert fits["loglog"].slope == pytest.approx(3.0)
+        assert fits["loglog"].intercept == pytest.approx(2.0)
+        assert fits["loglog"].rmse < fits["log"].rmse
+        assert fits["loglog"].r_squared == pytest.approx(1.0)
+
+    def test_recovers_log_law(self):
+        n = np.array([2.0**k for k in range(6, 22, 2)])
+        t = 1.5 * np.log(n) - 1.0
+        fits = fit_growth_models(n, t)
+        assert fits["log"].rmse < 1e-9
+        assert fits["log"].rmse < fits["loglog"].rmse
+
+    def test_recovers_linear_law(self):
+        n = np.linspace(100, 5000, 10)
+        t = 0.01 * n + 5
+        fits = fit_growth_models(n, t)
+        assert fits["linear"].rmse < 1e-9
+
+    def test_predict_roundtrip(self):
+        n = np.array([2.0**k for k in range(6, 20, 2)])
+        t = 2.0 * np.log(np.log(n)) + 1.0
+        fit = fit_growth_models(n, t)["loglog"]
+        assert np.allclose(fit.predict(n), t)
+
+    def test_noise_tolerance(self):
+        gen = np.random.default_rng(1)
+        n = np.array([2.0**k for k in range(6, 24, 2)])
+        t = 3.0 * np.log(np.log(n)) + 2.0 + gen.normal(0, 0.05, size=n.size)
+        fits = fit_growth_models(n, t)
+        assert fits["loglog"].rmse < fits["linear"].rmse
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            fit_growth_models(np.array([10.0, 20.0]), np.array([1.0, 2.0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="matching"):
+            fit_growth_models(np.array([10.0, 20.0, 30.0]), np.array([1.0, 2.0]))
+
+    def test_loglog_requires_n_above_e(self):
+        with pytest.raises(ValueError, match="n > e"):
+            fit_growth_models(np.array([2.0, 10.0, 100.0]), np.array([1.0, 2.0, 3.0]))
+
+
+class TestGeometricGrowthRate:
+    def test_exact_geometric(self):
+        seq = 0.01 * 1.25 ** np.arange(10)
+        assert geometric_growth_rate(seq) == pytest.approx(1.25)
+
+    def test_median_robust_to_one_outlier(self):
+        seq = list(0.01 * 1.5 ** np.arange(9))
+        seq[4] *= 3.0  # single spike
+        rate = geometric_growth_rate(np.array(seq))
+        assert 1.2 <= rate <= 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="length >= 2"):
+            geometric_growth_rate(np.array([1.0]))
+        with pytest.raises(ValueError, match="positive"):
+            geometric_growth_rate(np.array([1.0, 0.0]))

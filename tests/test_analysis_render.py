@@ -1,0 +1,105 @@
+"""Tests for table formatting and ASCII plotting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.asciiplot import line_plot
+from repro.analysis.tables import format_table, format_value
+
+
+class TestFormatValue:
+    def test_floats(self):
+        assert format_value(0.123456) == "0.1235"
+        assert format_value(float("nan")) == "nan"
+        assert format_value(0.0) == "0"
+
+    def test_scientific_for_extremes(self):
+        assert "e" in format_value(1.23e-9)
+        assert "e" in format_value(9.9e12)
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_strings_passthrough(self):
+        assert format_value("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_dict_rows(self):
+        out = format_table(["a", "b"], [{"a": 1, "b": 2.5}, {"a": 3}])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("| a")
+        assert "2.5" in lines[2]
+        # Missing key renders empty.
+        assert "| 3" in lines[3]
+
+    def test_positional_rows(self):
+        out = format_table(["x", "y"], [(1, 2), (3, 4)])
+        assert "| 1 | 2 |" in out
+
+    def test_positional_length_mismatch(self):
+        with pytest.raises(ValueError, match="does not match"):
+            format_table(["x", "y"], [(1, 2, 3)])
+
+    def test_alignment_consistent(self):
+        out = format_table(["col"], [{"col": "short"}, {"col": "a-much-longer-cell"}])
+        widths = {len(line) for line in out.splitlines()}
+        assert len(widths) == 1
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(ValueError, match="at least one column"):
+            format_table([], [])
+
+    def test_markdown_separator(self):
+        out = format_table(["a"], [{"a": 1}])
+        assert out.splitlines()[1].startswith("|-")
+
+
+class TestLinePlot:
+    def test_renders_all_series(self):
+        out = line_plot(
+            {
+                "one": ([0, 1, 2], [0, 1, 4]),
+                "two": ([0, 1, 2], [4, 1, 0]),
+            },
+            width=32,
+            height=8,
+        )
+        assert "*=one" in out
+        assert "+=two" in out
+        assert "*" in out and "+" in out
+
+    def test_title_included(self):
+        out = line_plot({"s": ([0, 1], [0, 1])}, title="hello", width=20, height=5)
+        assert out.splitlines()[0] == "hello"
+
+    def test_log_scale_drops_nonpositive(self):
+        out = line_plot(
+            {"s": ([0, 1, 2], [0.0, 10.0, 100.0])}, logy=True, width=20, height=5
+        )
+        assert "nonpositive dropped" in out
+        assert "[log10 y]" in out
+
+    def test_constant_series_ok(self):
+        out = line_plot({"s": ([0, 1, 2], [5, 5, 5])}, width=20, height=5)
+        assert "*" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one series"):
+            line_plot({})
+
+    def test_canvas_size_validated(self):
+        with pytest.raises(ValueError, match="too small"):
+            line_plot({"s": ([0, 1], [0, 1])}, width=4, height=2)
+
+    def test_mismatched_xy_rejected(self):
+        with pytest.raises(ValueError, match="matching"):
+            line_plot({"s": ([0, 1, 2], [0, 1])})
+
+    def test_all_nonpositive_logy_rejected(self):
+        with pytest.raises(ValueError, match="no plottable"):
+            line_plot({"s": ([0, 1], [0.0, -1.0])}, logy=True)

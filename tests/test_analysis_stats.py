@@ -1,0 +1,137 @@
+"""Tests for the statistics helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.analysis.stats import (
+    binomial_upper_tail,
+    bootstrap_mean_ci,
+    chernoff_binomial_tail,
+    clopper_pearson_interval,
+    empirical_survival,
+    wilson_interval,
+)
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(30, 100)
+        assert lo <= 0.3 <= hi
+
+    def test_boundary_zero(self):
+        lo, hi = wilson_interval(0, 50)
+        assert lo == 0.0  # pinned exactly at the boundary
+        assert hi > 0.0  # non-degenerate at the boundary
+
+    def test_boundary_all_pinned(self):
+        lo, hi = wilson_interval(50, 50)
+        assert hi == 1.0 and lo < 1.0
+
+    def test_boundary_all(self):
+        lo, hi = wilson_interval(50, 50)
+        assert hi == 1.0
+        assert lo < 1.0
+
+    def test_narrower_with_more_trials(self):
+        w1 = wilson_interval(5, 10)
+        w2 = wilson_interval(500, 1000)
+        assert (w2[1] - w2[0]) < (w1[1] - w1[0])
+
+    def test_coverage_simulation(self):
+        """~95% of Wilson intervals cover the true p."""
+        gen = np.random.default_rng(1)
+        p, n, reps = 0.3, 60, 400
+        covered = 0
+        for _ in range(reps):
+            k = gen.binomial(n, p)
+            lo, hi = wilson_interval(int(k), n)
+            covered += lo <= p <= hi
+        assert covered / reps >= 0.90
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            wilson_interval(5, 4)
+        with pytest.raises(ValueError, match="confidence"):
+            wilson_interval(1, 4, confidence=1.5)
+
+    @given(
+        k=st.integers(min_value=0, max_value=50),
+        n=st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=50)
+    def test_property_valid_interval(self, k, n):
+        if k > n:
+            return
+        lo, hi = wilson_interval(k, n)
+        assert 0.0 <= lo <= hi <= 1.0
+
+
+class TestClopperPearson:
+    def test_conservative_vs_wilson(self):
+        wl, wh = wilson_interval(20, 100)
+        cl, ch = clopper_pearson_interval(20, 100)
+        assert cl <= wl + 1e-9 and ch >= wh - 1e-9
+
+    def test_degenerate_ends(self):
+        lo, _ = clopper_pearson_interval(0, 10)
+        _, hi = clopper_pearson_interval(10, 10)
+        assert lo == 0.0 and hi == 1.0
+
+
+class TestBootstrap:
+    def test_contains_mean_for_clean_data(self):
+        data = np.random.default_rng(2).normal(5.0, 1.0, size=200)
+        lo, hi = bootstrap_mean_ci(data, seed=3)
+        assert lo <= data.mean() <= hi
+        assert lo > 4.5 and hi < 5.5
+
+    def test_deterministic_given_seed(self):
+        data = np.arange(30, dtype=float)
+        assert bootstrap_mean_ci(data, seed=4) == bootstrap_mean_ci(data, seed=4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            bootstrap_mean_ci(np.array([]))
+
+
+class TestSurvival:
+    def test_values(self):
+        xs, surv = empirical_survival(np.array([1, 1, 2, 3]))
+        assert np.array_equal(xs, [1, 2, 3])
+        assert np.allclose(surv, [0.5, 0.25, 0.0])
+
+    def test_monotone_nonincreasing(self):
+        data = np.random.default_rng(5).integers(0, 20, size=100)
+        _, surv = empirical_survival(data)
+        assert (np.diff(surv) <= 1e-12).all()
+
+
+class TestTails:
+    def test_binomial_exact_matches_scipy(self):
+        assert binomial_upper_tail(20, 0.3, 10) == pytest.approx(
+            float(stats.binom.sf(9, 20, 0.3))
+        )
+
+    def test_threshold_zero_is_one(self):
+        assert binomial_upper_tail(10, 0.5, 0) == 1.0
+
+    @given(
+        n=st.integers(min_value=1, max_value=200),
+        p=st.floats(min_value=0.01, max_value=0.99),
+        frac=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_chernoff_dominates_exact(self, n, p, frac):
+        threshold = frac * n
+        exact = binomial_upper_tail(n, p, threshold)
+        chernoff = chernoff_binomial_tail(n, p, threshold)
+        assert chernoff >= exact - 1e-9
+
+    def test_chernoff_regimes(self):
+        assert chernoff_binomial_tail(100, 0.5, 40) == 1.0  # below mean
+        assert chernoff_binomial_tail(100, 0.5, 100.5) == 0.0  # above n

@@ -1,0 +1,62 @@
+"""Tests for Best-of-k (odd k >= 5) and the [1] applicability predicate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.best_of_k import abdullah_draief_applicable, best_of_k_dynamics
+from repro.core.opinions import RED, random_opinions
+from repro.graphs.generators import star_polluted
+from repro.graphs.implicit import CompleteGraph
+
+
+class TestDynamics:
+    def test_even_k_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            best_of_k_dynamics(CompleteGraph(10), 4)
+
+    @pytest.mark.parametrize("k", [5, 7, 9])
+    def test_odd_k_converges_fast(self, k):
+        g = CompleteGraph(2048)
+        dyn = best_of_k_dynamics(g, k)
+        res = dyn.run(random_opinions(2048, 0.1, rng=k), seed=k + 1, max_steps=100)
+        assert res.converged and res.winner == RED
+
+    def test_larger_k_amplifies_harder(self):
+        """One round from b=0.4: larger k drives the fraction lower.
+
+        E[b'] = P(Bin(k, b) > k/2) is decreasing in odd k for b < 1/2.
+        """
+        n = 200_000
+        g = CompleteGraph(n)
+        from repro.core.opinions import exact_count_opinions
+
+        init = exact_count_opinions(n, int(0.4 * n), rng=1)
+        fractions = {}
+        for k in (3, 5, 9):
+            gen = np.random.default_rng(100 + k)
+            out = best_of_k_dynamics(g, k).step(init, gen)
+            fractions[k] = out.mean()
+        assert fractions[3] > fractions[5] > fractions[9]
+
+
+class TestAbdullahDraiefPredicate:
+    def test_dense_host_applicable(self):
+        check = abdullah_draief_applicable(CompleteGraph(1000), 5)
+        assert check.applicable
+        assert check.effective_min_degree == 999
+
+    def test_k3_not_applicable(self):
+        # [1] requires k >= 5 — the gap the paper under reproduction fills.
+        check = abdullah_draief_applicable(CompleteGraph(1000), 3)
+        assert not check.applicable
+
+    def test_notes_mention_collision_scale(self):
+        check = abdullah_draief_applicable(CompleteGraph(100), 7)
+        assert "with-replacement" in check.notes
+
+    def test_pendant_host_effective_degree(self):
+        g = star_polluted(100, 100)
+        check = abdullah_draief_applicable(g, 5)
+        assert check.effective_min_degree == 1

@@ -1,0 +1,95 @@
+"""Tests for Best-of-2 and the [4]/[5] sufficient conditions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.best_of_two import (
+    best_of_two_dynamics,
+    cooper_imbalance_threshold,
+    satisfies_cooper_condition,
+    satisfies_spectral_condition,
+)
+from repro.core.dynamics import TieRule
+from repro.core.opinions import RED, exact_count_opinions
+from repro.graphs.generators import random_regular
+from repro.graphs.implicit import CompleteGraph
+
+
+class TestCooperThreshold:
+    def test_formula(self):
+        assert cooper_imbalance_threshold(100, 25, K=2.0) == pytest.approx(
+            2.0 * 100 * np.sqrt(1 / 25 + 25 / 100)
+        )
+
+    def test_minimised_near_sqrt_n(self):
+        n = 10_000
+        vals = {d: cooper_imbalance_threshold(n, d) for d in (10, 100, 1000)}
+        assert vals[100] < vals[10]
+        assert vals[100] < vals[1000]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cooper_imbalance_threshold(0, 5)
+        with pytest.raises(ValueError):
+            cooper_imbalance_threshold(10, 5, K=0)
+
+
+class TestCooperCondition:
+    def test_large_gap_satisfies(self, regular_medium):
+        # n=300, d=16: threshold = 300*sqrt(1/16+16/300) ~ 103; gap 200.
+        n = regular_medium.num_vertices
+        ops = exact_count_opinions(n, 50, rng=1)
+        assert satisfies_cooper_condition(regular_medium, ops, K=1.0)
+
+    def test_tiny_gap_fails(self):
+        g = random_regular(500, 10, seed=2)
+        ops = exact_count_opinions(500, 245, rng=3)  # gap 10
+        assert not satisfies_cooper_condition(g, ops, K=1.0)
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError, match="does not match"):
+            satisfies_cooper_condition(CompleteGraph(5), np.zeros(3, dtype=np.uint8))
+
+
+class TestSpectralCondition:
+    def test_expander_with_gap_satisfies(self):
+        # Need 4*lambda2^2 small: d=50 gives lambda2 ~ 2*sqrt(49)/50 ~ 0.28,
+        # so a degree-volume gap of 0.8*d(V) satisfies the [5] condition.
+        g = random_regular(300, 50, seed=41)
+        n = g.num_vertices
+        ops = exact_count_opinions(n, n // 10, rng=4)
+        assert satisfies_spectral_condition(g, ops)
+
+    def test_balanced_fails(self, regular_medium):
+        n = regular_medium.num_vertices
+        ops = exact_count_opinions(n, n // 2, rng=5)
+        assert not satisfies_spectral_condition(regular_medium, ops)
+
+    def test_precomputed_lambda2_used(self, regular_medium):
+        n = regular_medium.num_vertices
+        ops = exact_count_opinions(n, n // 10, rng=6)
+        # lambda2 = 1 makes the requirement impossible.
+        assert not satisfies_spectral_condition(regular_medium, ops, lambda2=1.0)
+        assert satisfies_spectral_condition(regular_medium, ops, lambda2=0.0)
+
+
+class TestDynamicsBehaviour:
+    def test_keep_self_amplifies(self):
+        """KEEP_SELF Best-of-2 has the same drift map as Best-of-3."""
+        g = CompleteGraph(4096)
+        dyn = best_of_two_dynamics(g, tie_rule=TieRule.KEEP_SELF)
+        init = exact_count_opinions(4096, int(0.4 * 4096), rng=7)
+        res = dyn.run(init, seed=8, max_steps=500)
+        assert res.converged and res.winner == RED
+
+    def test_random_tie_preserves_mean(self):
+        """RANDOM ties: one round keeps the blue fraction in expectation."""
+        n = 200_000
+        g = CompleteGraph(n)
+        dyn = best_of_two_dynamics(g, tie_rule=TieRule.RANDOM)
+        init = exact_count_opinions(n, int(0.4 * n), rng=9)
+        gen = np.random.default_rng(10)
+        out = dyn.step(init, gen)
+        assert out.mean() == pytest.approx(0.4, abs=5 / np.sqrt(n))

@@ -1,0 +1,84 @@
+"""Tests for deterministic synchronous local majority."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.local_majority import local_majority_run
+from repro.core.opinions import BLUE, RED
+from repro.graphs.csr import CSRGraph
+from repro.graphs.implicit import CompleteBipartiteGraph, CompleteGraph
+
+
+class TestOutcomes:
+    def test_consensus_from_majority(self):
+        g = CompleteGraph(100).to_csr()
+        ops = np.zeros(100, dtype=np.uint8)
+        ops[:30] = BLUE
+        res = local_majority_run(g, ops)
+        assert res.outcome == "consensus"
+        assert res.winner == RED
+        assert res.steps <= 2
+
+    def test_blue_majority_wins(self):
+        g = CompleteGraph(100).to_csr()
+        ops = np.ones(100, dtype=np.uint8)
+        ops[:30] = RED
+        res = local_majority_run(g, ops)
+        assert res.outcome == "consensus" and res.winner == BLUE
+
+    def test_two_cycle_blinker(self):
+        """Complete bipartite with opposite-coloured sides blinks forever."""
+        g = CompleteBipartiteGraph(4, 4).to_csr()
+        ops = np.array([1] * 4 + [0] * 4, dtype=np.uint8)
+        res = local_majority_run(g, ops)
+        assert res.outcome == "cycle"
+
+    def test_fixed_point_non_consensus(self):
+        """Two triangles joined by one edge hold different colours stably."""
+        edges = [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]
+        g = CSRGraph.from_edges(6, edges)
+        ops = np.array([0, 0, 0, 1, 1, 1], dtype=np.uint8)
+        res = local_majority_run(g, ops)
+        assert res.outcome == "fixed_point"
+        assert np.array_equal(res.final_opinions, ops)
+
+    def test_c4_alternating_blinks(self):
+        """C4 alternating: both neighbours of each vertex hold the *other*
+        colour, so the whole ring swaps colours every round — a 2-cycle."""
+        g = CSRGraph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        ops = np.array([0, 1, 0, 1], dtype=np.uint8)
+        res = local_majority_run(g, ops)
+        assert res.outcome == "cycle"
+
+    def test_tie_keeps_own(self):
+        """Path 0-1-2 with endpoints disagreeing: the middle vertex sees a
+        1-1 tie and keeps its colour; endpoints copy the middle.  From
+        [1, 0, 0]: middle tie keeps 0, endpoints adopt 0 -> red consensus."""
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)])
+        ops = np.array([1, 0, 0], dtype=np.uint8)
+        res = local_majority_run(g, ops)
+        assert res.outcome == "consensus"
+        assert res.winner == RED
+
+    def test_consensus_start_is_immediate(self):
+        g = CompleteGraph(20).to_csr()
+        res = local_majority_run(g, np.zeros(20, dtype=np.uint8))
+        assert res.outcome == "consensus" and res.steps == 0
+
+    def test_implicit_graph_materialised(self):
+        # Passing an implicit host works through to_csr().
+        res = local_majority_run(CompleteGraph(50), np.zeros(50, dtype=np.uint8))
+        assert res.outcome == "consensus"
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError, match="does not match"):
+            local_majority_run(CompleteGraph(5).to_csr(), np.zeros(3, dtype=np.uint8))
+
+    def test_trajectory_recorded(self):
+        g = CompleteGraph(60).to_csr()
+        ops = np.zeros(60, dtype=np.uint8)
+        ops[:20] = BLUE
+        res = local_majority_run(g, ops)
+        assert res.blue_trajectory[0] == 20

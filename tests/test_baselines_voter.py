@@ -1,0 +1,72 @@
+"""Tests for the voter model baseline (Best-of-1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import wilson_interval
+from repro.baselines.voter import voter_dynamics, voter_win_probability
+from repro.core.opinions import BLUE, RED, exact_count_opinions
+from repro.graphs.csr import CSRGraph
+from repro.graphs.implicit import CompleteGraph
+
+
+class TestWinProbability:
+    def test_regular_graph_is_count_fraction(self):
+        g = CompleteGraph(100)
+        ops = exact_count_opinions(100, 30, rng=1)
+        assert voter_win_probability(g, ops, RED) == pytest.approx(0.7)
+        assert voter_win_probability(g, ops, BLUE) == pytest.approx(0.3)
+
+    def test_degree_weighting(self):
+        # Star: center degree 3, leaves degree 1 (d(V) = 6).
+        g = CSRGraph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        ops = np.array([BLUE, RED, RED, RED], dtype=np.uint8)
+        assert voter_win_probability(g, ops, BLUE) == pytest.approx(0.5)
+
+    def test_probabilities_sum_to_one(self):
+        g = CompleteGraph(50)
+        ops = exact_count_opinions(50, 20, rng=2)
+        total = voter_win_probability(g, ops, RED) + voter_win_probability(
+            g, ops, BLUE
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError, match="does not match"):
+            voter_win_probability(CompleteGraph(5), np.zeros(3, dtype=np.uint8))
+
+
+class TestVoterDynamics:
+    def test_k_is_one(self):
+        assert voter_dynamics(CompleteGraph(10)).k == 1
+
+    def test_win_law_monte_carlo(self):
+        """The martingale win law holds within a Wilson interval."""
+        n, blue0, trials = 60, 20, 120
+        g = CompleteGraph(n)
+        dyn = voter_dynamics(g)
+        gen = np.random.default_rng(3)
+        red_wins = 0
+        for _ in range(trials):
+            init = exact_count_opinions(n, blue0, rng=gen)
+            res = dyn.run(init, seed=gen, max_steps=50_000, keep_final=False)
+            assert res.converged
+            red_wins += int(res.winner == RED)
+        lo, hi = wilson_interval(red_wins, trials, confidence=0.999)
+        expected = 1 - blue0 / n
+        assert lo <= expected <= hi
+
+    def test_consensus_time_order_n(self):
+        """Voter consensus on K_n is far slower than Best-of-3."""
+        from repro.core.dynamics import best_of_three
+        from repro.core.opinions import random_opinions
+
+        n = 128
+        g = CompleteGraph(n)
+        init = random_opinions(n, 0.1, rng=4)
+        voter_res = voter_dynamics(g).run(init, seed=5, max_steps=100_000)
+        bo3_res = best_of_three(g).run(init, seed=6)
+        assert voter_res.converged and bo3_res.converged
+        assert voter_res.steps > 5 * bo3_res.steps

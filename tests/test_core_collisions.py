@@ -1,0 +1,117 @@
+"""Tests for Lemma 7 collision bounds."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.collisions import (
+    binomial_majorant_p,
+    blue_leaf_tail_exact,
+    collision_tail_exact,
+    collision_tail_paper,
+    empirical_collision_counts,
+    level_collision_probability_bound,
+    root_blue_bound_exact,
+    root_blue_bound_paper,
+)
+from repro.graphs.implicit import CompleteGraph
+
+
+class TestPerLevelBound:
+    def test_formula(self):
+        assert level_collision_probability_bound(3, 100) == pytest.approx(0.09)
+
+    def test_clipped_at_one(self):
+        assert level_collision_probability_bound(100, 10) == 1.0
+
+    def test_zero_vertices(self):
+        assert level_collision_probability_bound(0, 10) == 0.0
+
+    def test_bound_dominates_true_collision_probability(self):
+        """The m^2/d relaxation really does bound 1 - prod(1 - j/d)."""
+        for m, d in [(3, 50), (9, 200), (27, 5000)]:
+            exact = 1.0
+            for j in range(1, 3 * m):  # 3m draws, pessimistic count
+                exact *= max(1 - j / d, 0.0)
+            true_p = 1 - exact
+            # The paper's bound uses m_i^2/d with m_i the *draw* count 3m
+            # at worst; our helper takes the level size directly.
+            assert level_collision_probability_bound(3 * m, d) >= min(true_p, 1.0) - 1e-12
+
+
+class TestMajorant:
+    def test_p_value(self):
+        assert binomial_majorant_p(2, 1000) == pytest.approx(81 / 1000)
+
+    def test_clip(self):
+        assert binomial_majorant_p(5, 10) == 1.0
+
+    def test_tail_exact_matches_scipy(self):
+        h, d = 4, 10**5
+        p = binomial_majorant_p(h, d)
+        assert collision_tail_exact(h, d, 2.0) == pytest.approx(
+            float(stats.binom.sf(2, h, p))
+        )
+
+    def test_paper_bound_dominates_exact_in_regime(self):
+        # In the regime 2e 9^h/d <= 1/2 the closed form must dominate the
+        # exact Bin tail at threshold h/2 (it was derived as its bound).
+        for h, d in [(2, 10**5), (3, 10**7), (4, 10**9)]:
+            assert 2 * math.e * 9**h / d <= 0.5
+            assert collision_tail_paper(h, d) >= collision_tail_exact(
+                h, d, h / 2 - 1e-9
+            )
+
+    def test_paper_bound_clipped(self):
+        assert collision_tail_paper(5, 10) == 1.0
+
+
+class TestRootBlueBounds:
+    def test_exact_bound_components(self):
+        h, d, p_leaf = 3, 10**6, 1e-7
+        total = root_blue_bound_exact(h, d, p_leaf)
+        assert 0 <= total <= 1
+        assert total >= blue_leaf_tail_exact(h, p_leaf)
+
+    def test_paper_bound_is_double_tail(self):
+        h, d = 3, 10**8
+        assert root_blue_bound_paper(h, d) == pytest.approx(
+            2 * collision_tail_paper(h, d)
+        )
+
+    def test_blue_leaf_tail_trivial_cases(self):
+        assert blue_leaf_tail_exact(3, 0.0) == 0.0
+        assert blue_leaf_tail_exact(3, 1.0) == 1.0
+
+    def test_bound_decays_in_d(self):
+        values = [root_blue_bound_exact(3, d, 0.5 / d) for d in (10**4, 10**6, 10**8)]
+        assert values[0] > values[1] > values[2]
+
+
+class TestEmpirical:
+    def test_empirical_counts_shape_and_range(self):
+        g = CompleteGraph(5000)
+        counts = empirical_collision_counts(g, root=0, T=3, trials=50, seed=1)
+        assert counts.shape == (50,)
+        assert (counts >= 0).all() and (counts <= 3).all()
+
+    def test_stochastic_dominance_on_complete_graph(self):
+        """Empirical C tails sit below the Bin(h, 9^h/d) majorant."""
+        g = CompleteGraph(20_000)
+        h, trials = 3, 400
+        counts = empirical_collision_counts(g, root=0, T=h, trials=trials, seed=2)
+        p = binomial_majorant_p(h, g.min_degree)
+        for j in range(1, h + 1):
+            emp = (counts >= j).mean()
+            bound = float(stats.binom.sf(j - 1, h, p))
+            sigma = math.sqrt(max(bound * (1 - bound), 1e-12) / trials)
+            assert emp <= bound + 4 * sigma
+
+    def test_dense_graphs_rarely_collide(self):
+        g = CompleteGraph(1_000_000)
+        counts = empirical_collision_counts(g, root=0, T=2, trials=30, seed=3)
+        assert counts.sum() == 0

@@ -1,0 +1,110 @@
+"""Edge cases and symmetries of the dynamics engine.
+
+These pin down behaviours the main test file doesn't: degenerate hosts
+where consensus is impossible, the exact colour-swap symmetry of the
+update rule, and boundary parameter regimes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dynamics import BestOfKDynamics, best_of_three, step_best_of_k
+from repro.core.opinions import BLUE, RED, random_opinions
+from repro.graphs.csr import CSRGraph
+from repro.graphs.implicit import CompleteBipartiteGraph, CompleteGraph
+
+
+class TestDegenerateHosts:
+    def test_two_vertex_path_swaps_forever(self):
+        """On P2 every vertex's sample is 3 copies of its only neighbour,
+        so a disagreeing pair swaps opinions deterministically each round
+        and never reaches consensus — the minimal host showing why
+        'connected non-bipartite' matters for k=1 and why the step cap
+        must exist."""
+        g = CSRGraph.from_edges(2, [(0, 1)])
+        init = np.array([RED, BLUE], dtype=np.uint8)
+        res = best_of_three(g).run(init, seed=1, max_steps=50)
+        assert not res.converged
+        # The trajectory alternates 1, 1, 1... (one blue forever).
+        assert (res.blue_trajectory == 1).all()
+        # And the final state is one of the two swaps.
+        assert sorted(res.final_opinions.tolist()) == [0, 1]
+
+    def test_two_vertex_path_agreeing_is_absorbed(self):
+        g = CSRGraph.from_edges(2, [(0, 1)])
+        res = best_of_three(g).run(np.zeros(2, dtype=np.uint8), seed=2)
+        assert res.converged and res.steps == 0
+
+    def test_bipartite_alternating_blocks(self):
+        """K_{a,b} with side-aligned colours also swaps deterministically
+        under Best-of-3 (each side samples only the other side)."""
+        g = CompleteBipartiteGraph(4, 4)
+        init = np.array([BLUE] * 4 + [RED] * 4, dtype=np.uint8)
+        gen = np.random.default_rng(3)
+        out = step_best_of_k(g, init, 3, gen)
+        assert np.array_equal(out, 1 - init)
+
+    def test_bipartite_iid_start_still_converges(self):
+        """From i.i.d. biased opinions both sides share the drift, so the
+        paper's setting works even on this bipartite (dense) host."""
+        g = CompleteBipartiteGraph(500, 500)
+        res = best_of_three(g).run(random_opinions(1000, 0.15, rng=4), seed=5)
+        assert res.converged and res.winner == RED
+
+
+class TestColourSwapSymmetry:
+    def test_one_step_equivariance(self):
+        """step(1 - x) with the same draws equals 1 - step(x): the update
+        rule has no colour preference; all asymmetry lives in delta."""
+        n = 512
+        g = CompleteGraph(n)
+        x = random_opinions(n, 0.2, rng=6)
+        ss = np.random.SeedSequence(7)
+        a = step_best_of_k(g, x, 3, np.random.default_rng(ss))
+        b = step_best_of_k(
+            g, (1 - x).astype(np.uint8), 3, np.random.default_rng(ss)
+        )
+        assert np.array_equal(b, 1 - a)
+
+    def test_full_run_mirrored(self):
+        n = 1024
+        g = CompleteGraph(n)
+        x = random_opinions(n, 0.15, rng=8)
+        res_x = best_of_three(g).run(x, seed=9)
+        res_y = best_of_three(g).run((1 - x).astype(np.uint8), seed=9)
+        assert res_x.steps == res_y.steps
+        assert np.array_equal(
+            res_y.blue_trajectory, n - res_x.blue_trajectory
+        )
+        assert res_x.winner == 1 - res_y.winner
+
+
+class TestParameterBoundaries:
+    def test_delta_half_converges_instantly(self):
+        g = CompleteGraph(256)
+        res = best_of_three(g).run(random_opinions(256, 0.5, rng=10), seed=11)
+        assert res.converged and res.steps == 0 and res.winner == RED
+
+    def test_delta_zero_someone_wins(self):
+        g = CompleteGraph(512)
+        res = best_of_three(g).run(
+            random_opinions(512, 0.0, rng=12), seed=13, max_steps=200
+        )
+        assert res.converged
+        assert res.winner in (RED, BLUE)
+
+    def test_k_larger_than_degree_works(self):
+        """Sampling is with replacement, so k may exceed the degree."""
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        dyn = BestOfKDynamics(g, k=9)
+        res = dyn.run(np.array([0, 0, 1], dtype=np.uint8), seed=14, max_steps=100)
+        assert res.converged
+
+    def test_single_round_trajectory_lengths(self):
+        g = CompleteGraph(128)
+        res = best_of_three(g).run(
+            random_opinions(128, 0.3, rng=15), seed=16, max_steps=1
+        )
+        assert res.blue_trajectory.size == res.steps + 1

@@ -1,0 +1,130 @@
+"""Tests for the general Best-of-k mean-field maps."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dynamics import TieRule
+from repro.core.meanfield import (
+    best_of_k_hitting_time,
+    best_of_k_map,
+    best_of_k_trajectory,
+    fixed_points,
+    map_derivative_at_half,
+)
+from repro.core.recursions import ideal_step
+
+
+class TestMap:
+    @given(b=st.floats(min_value=0, max_value=1))
+    @settings(max_examples=40)
+    def test_k3_equals_equation1(self, b):
+        assert best_of_k_map(b, 3) == pytest.approx(ideal_step(b), abs=1e-12)
+
+    @given(b=st.floats(min_value=0, max_value=1))
+    @settings(max_examples=40)
+    def test_k1_is_identity(self, b):
+        assert best_of_k_map(b, 1) == pytest.approx(b, abs=1e-12)
+
+    @given(b=st.floats(min_value=0, max_value=1))
+    @settings(max_examples=40)
+    def test_k2_keep_self_equals_k3(self, b):
+        """The classic coincidence: 2-choices (keep) and 3-majority share
+        the drift map 3b^2 - 2b^3."""
+        assert best_of_k_map(b, 2, tie_rule=TieRule.KEEP_SELF) == pytest.approx(
+            best_of_k_map(b, 3), abs=1e-12
+        )
+
+    @given(b=st.floats(min_value=0, max_value=1))
+    @settings(max_examples=40)
+    def test_k2_random_is_martingale(self, b):
+        assert best_of_k_map(b, 2, tie_rule=TieRule.RANDOM) == pytest.approx(
+            b, abs=1e-12
+        )
+
+    @given(
+        b=st.floats(min_value=0, max_value=1),
+        k=st.sampled_from([1, 3, 5, 7, 9]),
+    )
+    @settings(max_examples=60)
+    def test_property_symmetry(self, b, k):
+        assert best_of_k_map(1 - b, k) == pytest.approx(
+            1 - best_of_k_map(b, k), abs=1e-10
+        )
+
+    def test_larger_k_amplifies_harder_below_half(self):
+        b = 0.4
+        vals = [best_of_k_map(b, k) for k in (3, 5, 9, 15)]
+        assert all(x > y for x, y in zip(vals, vals[1:]))
+
+
+class TestDerivativeAndFixedPoints:
+    def test_derivative_grows_like_sqrt_k(self):
+        # g_k'(1/2) = k * C(k-1, (k-1)/2) / 2^(k-1) ~ sqrt(2k/pi).
+        for k in (3, 5, 9, 21):
+            expected = math.sqrt(2 * k / math.pi)
+            measured = map_derivative_at_half(k)
+            assert measured == pytest.approx(expected, rel=0.15)
+
+    def test_derivative_exact_k3(self):
+        # g_3(b) = 3b^2-2b^3: g'(1/2) = 6b - 6b^2 at 1/2 = 3/2.
+        assert map_derivative_at_half(3) == pytest.approx(1.5, abs=1e-4)
+
+    @pytest.mark.parametrize("k", [3, 5, 7])
+    def test_fixed_points_odd_k(self, k):
+        pts = fixed_points(k)
+        assert pts == pytest.approx([0.0, 0.5, 1.0], abs=1e-4)
+
+    def test_fixed_points_k2_keep(self):
+        assert fixed_points(2, tie_rule=TieRule.KEEP_SELF) == pytest.approx(
+            [0.0, 0.5, 1.0], abs=1e-4
+        )
+
+    def test_fixed_points_random_rejected(self):
+        with pytest.raises(ValueError, match="identity"):
+            fixed_points(2, tie_rule=TieRule.RANDOM)
+
+
+class TestTrajectoriesAndHitting:
+    def test_trajectory_matches_manual_iteration(self):
+        traj = best_of_k_trajectory(0.4, 5, steps=4)
+        b = 0.4
+        for t in range(4):
+            b = best_of_k_map(b, 5)
+            assert traj[t + 1] == pytest.approx(b)
+
+    def test_hitting_time_decreases_in_k(self):
+        times = {k: best_of_k_hitting_time(0.4, k, 1e-9) for k in (3, 5, 9)}
+        assert times[3] >= times[5] >= times[9]
+
+    def test_martingale_raises(self):
+        with pytest.raises(RuntimeError, match="not progress"):
+            best_of_k_hitting_time(0.4, 2, 1e-3, tie_rule=TieRule.RANDOM)
+
+    def test_hitting_time_immediate(self):
+        assert best_of_k_hitting_time(0.01, 3, 0.5) == 0
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ValueError):
+            best_of_k_trajectory(0.4, 3, steps=-1)
+
+    def test_simulation_agrees_with_map_one_round(self):
+        """One synchronous round on K_n matches the map for several k."""
+        from repro.core.dynamics import step_best_of_k
+        from repro.core.opinions import exact_count_opinions
+        from repro.graphs.implicit import CompleteGraph
+
+        n = 100_000
+        g = CompleteGraph(n)
+        init = exact_count_opinions(n, 40_000, rng=1)
+        gen = np.random.default_rng(2)
+        for k in (1, 3, 5):
+            out = step_best_of_k(g, init, k, gen)
+            assert out.mean() == pytest.approx(
+                best_of_k_map(0.4, k), abs=5 / np.sqrt(n)
+            )

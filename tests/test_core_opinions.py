@@ -1,0 +1,136 @@
+"""Tests for opinion vectors and initial configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.opinions import (
+    BLUE,
+    RED,
+    adversarial_opinions,
+    blue_count,
+    blue_fraction,
+    consensus_value,
+    exact_count_opinions,
+    is_consensus,
+    random_opinions,
+)
+from repro.graphs.generators import two_clique_bridge
+from repro.graphs.implicit import CompleteGraph
+
+
+class TestEncoding:
+    def test_constants(self):
+        assert RED == 0 and BLUE == 1
+
+    def test_dtype(self):
+        assert random_opinions(10, 0.1, rng=0).dtype == np.uint8
+
+
+class TestRandomOpinions:
+    def test_mean_matches_bias(self):
+        ops = random_opinions(200_000, 0.1, rng=1)
+        assert blue_fraction(ops) == pytest.approx(0.4, abs=0.005)
+
+    def test_delta_zero_is_fair(self):
+        ops = random_opinions(200_000, 0.0, rng=2)
+        assert blue_fraction(ops) == pytest.approx(0.5, abs=0.005)
+
+    def test_delta_half_all_red(self):
+        ops = random_opinions(1000, 0.5, rng=3)
+        assert blue_count(ops) == 0
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            random_opinions(100, 0.2, rng=4), random_opinions(100, 0.2, rng=4)
+        )
+
+    def test_delta_out_of_range(self):
+        with pytest.raises(ValueError):
+            random_opinions(10, 0.6)
+
+
+class TestExactCount:
+    @given(
+        n=st.integers(min_value=1, max_value=200),
+        seed=st.integers(min_value=0, max_value=1000),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_count_exact(self, n, seed, data):
+        blue = data.draw(st.integers(min_value=0, max_value=n))
+        ops = exact_count_opinions(n, blue, rng=seed)
+        assert blue_count(ops) == blue
+
+    def test_placement_random(self):
+        a = exact_count_opinions(1000, 500, rng=1)
+        b = exact_count_opinions(1000, 500, rng=2)
+        assert not np.array_equal(a, b)
+
+    def test_too_many_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            exact_count_opinions(5, 6)
+
+
+class TestAdversarial:
+    def test_high_degree_targets_hubs(self):
+        g = two_clique_bridge(10, bridges=3)  # bridge endpoints have +1 degree
+        ops = adversarial_opinions(g, 6, "high_degree")
+        # The six highest-degree vertices are the bridge endpoints.
+        assert blue_count(ops) == 6
+        blue_idx = set(np.nonzero(ops)[0].tolist())
+        assert blue_idx == {0, 1, 2, 10, 11, 12}
+
+    def test_low_degree(self):
+        g = two_clique_bridge(10, bridges=3)
+        ops = adversarial_opinions(g, 4, "low_degree")
+        assert not (set(np.nonzero(ops)[0].tolist()) & {0, 1, 2, 10, 11, 12})
+
+    def test_block(self):
+        g = CompleteGraph(20)
+        ops = adversarial_opinions(g, 7, "block")
+        assert np.array_equal(np.nonzero(ops)[0], np.arange(7))
+
+    def test_cluster_is_connected_ball(self):
+        g = two_clique_bridge(50)
+        ops = adversarial_opinions(g, 30, "cluster", rng=5)
+        blue_idx = np.nonzero(ops)[0]
+        # A BFS ball of 30 in a 50-clique-pair stays within one clique
+        # (+ possibly the bridge endpoint of the other).
+        left = (blue_idx < 50).sum()
+        assert left == 30 or left <= 1 or left >= 29
+
+    def test_zero_blue(self):
+        g = CompleteGraph(10)
+        assert blue_count(adversarial_opinions(g, 0, "block")) == 0
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown adversarial strategy"):
+            adversarial_opinions(CompleteGraph(5), 1, "weird")
+
+    def test_counts_exact_all_strategies(self):
+        g = two_clique_bridge(20)
+        for strategy in ("high_degree", "low_degree", "block", "cluster"):
+            ops = adversarial_opinions(g, 13, strategy, rng=1)
+            assert blue_count(ops) == 13, strategy
+
+
+class TestPredicates:
+    def test_consensus_detection(self):
+        assert is_consensus(np.zeros(5, dtype=np.uint8))
+        assert is_consensus(np.ones(5, dtype=np.uint8))
+        assert not is_consensus(np.array([0, 1], dtype=np.uint8))
+
+    def test_consensus_value(self):
+        assert consensus_value(np.zeros(4, dtype=np.uint8)) == RED
+        assert consensus_value(np.ones(4, dtype=np.uint8)) == BLUE
+        assert consensus_value(np.array([0, 1], dtype=np.uint8)) is None
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            is_consensus(np.array([], dtype=np.uint8))
+        with pytest.raises(ValueError):
+            blue_fraction(np.array([], dtype=np.uint8))

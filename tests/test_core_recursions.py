@@ -1,0 +1,212 @@
+"""Tests for the paper's recursions (equations (1)-(5), Lemma 4)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.recursions import (
+    GAP_TARGET,
+    PhaseBreakdown,
+    consensus_time_bound,
+    epsilon_schedule,
+    gap_step,
+    ideal_fixed_points,
+    ideal_hitting_time,
+    ideal_step,
+    ideal_trajectory,
+    phase_lengths,
+    sprinkled_step,
+    sprinkled_step_tight,
+    sprinkled_trajectory,
+    squared_step_bound,
+)
+
+probs = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestIdealMap:
+    def test_fixed_points(self):
+        for fp in ideal_fixed_points():
+            assert ideal_step(fp) == pytest.approx(fp)
+
+    def test_binomial_interpretation(self):
+        # 3b^2 - 2b^3 == P(Bin(3, b) >= 2), checked against scipy.
+        from scipy import stats
+
+        for b in (0.1, 0.3, 0.45, 0.7):
+            assert ideal_step(b) == pytest.approx(
+                float(stats.binom.sf(1, 3, b)), abs=1e-12
+            )
+
+    @given(st.floats(min_value=0.0, max_value=0.5, allow_nan=False))
+    def test_contracts_below_half(self, b):
+        assert ideal_step(b) <= b + 1e-15
+
+    @given(st.floats(min_value=0.5, max_value=1.0, allow_nan=False))
+    def test_expands_above_half(self, b):
+        assert ideal_step(b) >= b - 1e-15
+
+    def test_symmetry(self):
+        # The map commutes with colour swap: f(1-b) = 1 - f(b).
+        for b in (0.1, 0.25, 0.4):
+            assert ideal_step(1 - b) == pytest.approx(1 - ideal_step(b))
+
+    def test_trajectory_monotone_down(self):
+        traj = ideal_trajectory(0.4, 10)
+        assert (np.diff(traj) <= 1e-15).all()
+        assert traj[-1] < 1e-6
+
+    def test_hitting_time_doubly_log(self):
+        # Doubling the precision target adds O(1) steps (log log behaviour):
+        t1 = ideal_hitting_time(0.4, 1e-6)
+        t2 = ideal_hitting_time(0.4, 1e-12)
+        assert t2 - t1 <= 2
+
+    def test_hitting_time_at_half_raises(self):
+        with pytest.raises(RuntimeError, match="never"):
+            ideal_hitting_time(0.5, 1e-3, max_steps=50)
+
+    def test_hitting_time_immediate(self):
+        assert ideal_hitting_time(0.01, 0.5) == 0
+
+
+class TestEpsilonSchedule:
+    def test_values(self):
+        eps = epsilon_schedule(3, 1000)
+        # t=1: 3^{3-1+1}=27/1000; t=2: 9/1000; t=3: 3/1000.
+        assert np.allclose(eps, [0.027, 0.009, 0.003])
+
+    def test_clipping(self):
+        eps = epsilon_schedule(10, 2)
+        assert (eps <= 1.0).all()
+        assert eps[0] == 1.0
+
+    def test_monotone_decreasing(self):
+        eps = epsilon_schedule(8, 10**6)
+        assert (np.diff(eps) < 0).all()
+
+
+class TestSprinkledMap:
+    @given(probs, probs)
+    def test_relaxed_dominates_tight(self, p, e):
+        assert sprinkled_step(p, e) >= sprinkled_step_tight(p, e) - 1e-12
+
+    @given(probs)
+    def test_zero_eps_is_ideal(self, p):
+        assert sprinkled_step_tight(p, 0.0) == pytest.approx(ideal_step(p))
+        assert sprinkled_step(p, 0.0) == pytest.approx(ideal_step(p))
+
+    @given(probs, probs)
+    def test_tight_is_probability(self, p, e):
+        assert 0.0 <= sprinkled_step_tight(p, e) <= 1.0
+
+    def test_trajectory_shapes(self):
+        traj = sprinkled_trajectory(0.4, 5, 10**6)
+        assert traj.shape == (6,)
+        assert traj[0] == 0.4
+
+    def test_trajectory_decays_with_large_d(self):
+        traj = sprinkled_trajectory(0.4, 8, 10**9)
+        assert traj[-1] < 1e-4
+
+    def test_trajectory_majorizes_ideal(self):
+        ideal = ideal_trajectory(0.4, 6)
+        sprk = sprinkled_trajectory(0.4, 6, 10**7)
+        assert (sprk >= ideal - 1e-12).all()
+
+    def test_tight_flag(self):
+        loose = sprinkled_trajectory(0.4, 5, 10**5)
+        tight = sprinkled_trajectory(0.4, 5, 10**5, tight=True)
+        assert (tight <= loose + 1e-12).all()
+
+
+class TestSquaredBound:
+    def test_eq3_handoff(self):
+        # For p > 12 eps: 3p^2 + 6pe + 4e^2 <= 4p^2.
+        for p, e in [(0.13, 0.01), (0.5, 0.04), (0.25, 0.02)]:
+            assert p > 12 * e
+            assert squared_step_bound(p, e) <= 4 * p * p + 1e-12
+
+
+class TestGapStep:
+    def test_eq5_growth_window(self):
+        # For delta < 1/(2 sqrt 3) and eps <= delta/48 the eq. (4) map
+        # grows by >= delta/4 (the paper's eq. (5) factor; note eq. (4)
+        # carries 4*eps, so the delta >> eps hypothesis must absorb the 4).
+        for delta in (0.05, 0.1, 0.2, 0.28):
+            eps = delta / 48.0
+            out = gap_step(delta, eps)
+            assert out >= 1.25 * delta - 1e-12
+
+    def test_drift_positive_below_target(self):
+        for delta in (0.01, 0.1, 0.25):
+            assert gap_step(delta, 0.0) > delta
+
+    def test_large_eps_can_stall(self):
+        assert gap_step(0.01, 0.5) < 0.01
+
+    def test_validates_range(self):
+        with pytest.raises(ValueError):
+            gap_step(0.7, 0.0)
+
+
+class TestPhaseLengths:
+    def test_gap_target_value(self):
+        assert GAP_TARGET == pytest.approx(1 / (2 * math.sqrt(3)))
+
+    def test_t3_zero_for_large_delta(self):
+        phases = phase_lengths(10**6, 0.4)
+        assert phases.t3_gap_growth == 0
+
+    def test_t3_grows_with_log_inv_delta(self):
+        t3s = [phase_lengths(10**6, 2.0**-k).t3_gap_growth for k in range(2, 9)]
+        diffs = np.diff(t3s)
+        assert (diffs >= 0).all()
+        assert t3s[-1] > t3s[0]
+        # Roughly constant increments (linear in log 1/delta):
+        assert max(diffs) - min(diffs) <= 2
+
+    def test_t3_capped_by_eq5_closed_form(self):
+        for delta in (0.01, 0.05, 0.2):
+            phases = phase_lengths(10**8, delta)
+            cap = math.ceil(math.log(GAP_TARGET / delta) / math.log(1.25))
+            assert phases.t3_gap_growth <= cap
+
+    def test_t2_loglog_scaling(self):
+        t2_small = phase_lengths(10**3, 0.1).t2_squaring
+        t2_large = phase_lengths(10**12, 0.1).t2_squaring
+        assert t2_small <= t2_large <= t2_small + 4
+
+    def test_total(self):
+        p = PhaseBreakdown(2, 3, 4)
+        assert p.total == 9
+
+    def test_d_validated(self):
+        with pytest.raises(ValueError, match="d >= 3"):
+            phase_lengths(2, 0.1)
+
+
+class TestConsensusTimeBound:
+    def test_doubly_logarithmic_in_n(self):
+        t_small = consensus_time_bound(2**10, 2**9, 0.1)
+        t_large = consensus_time_bound(2**20, 2**19, 0.1)
+        assert t_large - t_small <= 6  # loglog grows by ~0.7, budgets by O(1)
+
+    def test_additive_in_log_inv_delta(self):
+        budgets = [consensus_time_bound(2**16, 2**15, 2.0**-k) for k in range(2, 9)]
+        diffs = np.diff(budgets)
+        assert (diffs >= 0).all()
+        assert (diffs <= 4).all()
+
+    def test_realistic_magnitude(self):
+        # The whole point: tens of rounds, not hundreds, at laptop scale.
+        assert consensus_time_bound(10**6, 10**4, 0.05) < 40
+
+    def test_n_validated(self):
+        with pytest.raises(ValueError, match="n >= 3"):
+            consensus_time_bound(2, 3, 0.1)

@@ -1,0 +1,141 @@
+"""Tests for the Sprinkling process (§3, Proposition 3)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.recursions import sprinkled_trajectory
+from repro.core.sprinkling import sprinkle
+from repro.core.voting_dag import VotingDAG
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.implicit import CompleteGraph
+
+
+class TestTransform:
+    def test_pseudo_leaf_accounting(self):
+        g = CompleteGraph(30)  # small: many collisions
+        dag = VotingDAG.sample(g, root=0, T=4, rng=1)
+        sp = sprinkle(dag)
+        per_level = sp.pseudo_leaves_per_level()
+        # One pseudo-leaf per collision draw.
+        expected = [
+            int(dag.level_collision_draw_mask(t).sum()) for t in range(1, 5)
+        ]
+        assert np.array_equal(per_level, expected)
+        assert sp.total_pseudo_leaves == sum(expected)
+
+    def test_collision_free_below(self):
+        g = CompleteGraph(30)
+        for seed in range(5):
+            dag = VotingDAG.sample(g, root=0, T=4, rng=seed)
+            assert sprinkle(dag).is_collision_free_below()
+
+    def test_partial_t_prime(self):
+        g = CompleteGraph(30)
+        dag = VotingDAG.sample(g, root=0, T=5, rng=2)
+        sp = sprinkle(dag, t_prime=2)
+        assert sp.t_prime == 2
+        assert sp.forced_blue[3] is None
+        assert sp.forced_blue[1] is not None
+        assert sp.is_collision_free_below()
+
+    def test_t_prime_validated(self):
+        g = CompleteGraph(30)
+        dag = VotingDAG.sample(g, root=0, T=3, rng=3)
+        with pytest.raises(ValueError, match="exceeds"):
+            sprinkle(dag, t_prime=4)
+
+    def test_no_collisions_no_pseudo(self):
+        # Huge complete graph at T=2: collisions have probability ~1e-4.
+        g = CompleteGraph(200_000)
+        dag = VotingDAG.sample(g, root=0, T=2, rng=4)
+        if dag.num_collision_levels == 0:
+            assert sprinkle(dag).total_pseudo_leaves == 0
+
+    def test_structure_is_shared_not_copied(self):
+        g = CompleteGraph(50)
+        dag = VotingDAG.sample(g, root=0, T=3, rng=5)
+        sp = sprinkle(dag)
+        assert sp.base is dag
+
+
+class TestMajorizationCoupling:
+    @given(seed=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=25, deadline=None)
+    def test_property_pointwise_domination(self, seed):
+        """Prop. 3 coupling: X <= X' for every DAG vertex, any randomness."""
+        g = CompleteGraph(40)
+        dag = VotingDAG.sample(g, root=seed % 40, T=4, rng=seed)
+        sp = sprinkle(dag)
+        col = dag.color_leaves_iid(0.1, rng=seed + 1)
+        col_sp = sp.color(col.opinions[0])
+        for a, b in zip(col.opinions, col_sp.opinions):
+            assert (a <= b).all()
+
+    def test_domination_exhaustive_small(self):
+        """Exhaustive over all leaf colourings of a small sampled DAG."""
+        g = CompleteGraph(8)
+        dag = VotingDAG.sample(g, root=0, T=2, rng=7)
+        sp = sprinkle(dag)
+        m = dag.levels[0].size
+        for bits in itertools.product([0, 1], repeat=m):
+            leaves = np.array(bits, dtype=np.uint8)
+            ca, cb = dag.color(leaves), sp.color(leaves)
+            for a, b in zip(ca.opinions, cb.opinions):
+                assert (a <= b).all()
+
+    def test_sprinkled_equals_true_when_no_collisions(self):
+        g = CompleteGraph(100_000)
+        dag = VotingDAG.sample(g, root=0, T=2, rng=8)
+        if dag.num_collision_levels:
+            pytest.skip("rare collision draw")
+        sp = sprinkle(dag)
+        leaves = (np.random.default_rng(9).random(dag.levels[0].size) < 0.4).astype(
+            np.uint8
+        )
+        ca, cb = dag.color(leaves), sp.color(leaves)
+        for a, b in zip(ca.opinions, cb.opinions):
+            assert np.array_equal(a, b)
+
+    def test_iid_coloring_validates_delta(self):
+        g = CompleteGraph(20)
+        dag = VotingDAG.sample(g, root=0, T=2, rng=10)
+        sp = sprinkle(dag)
+        with pytest.raises(ValueError):
+            sp.color_leaves_iid(-0.7)
+
+    def test_leaf_shape_validated(self):
+        g = CompleteGraph(20)
+        dag = VotingDAG.sample(g, root=0, T=2, rng=11)
+        sp = sprinkle(dag)
+        with pytest.raises(ValueError, match="shape"):
+            sp.color(np.zeros(1, dtype=np.uint8))
+
+
+class TestEquation2Bound:
+    def test_marginal_bound_monte_carlo(self, er_medium):
+        """Empirical sprinkled blue frequency <= p_t iterates (+3 sigma)."""
+        T = 3
+        d = er_medium.min_degree
+        delta = 0.1
+        bound = sprinkled_trajectory(0.5 - delta, T, d)
+        n_dags = 250
+        blue = np.zeros(T + 1)
+        tot = np.zeros(T + 1)
+        gen_seed = 0
+        for i in range(n_dags):
+            dag = VotingDAG.sample(er_medium, root=i % er_medium.num_vertices, T=T, rng=(12, i))
+            sp = sprinkle(dag)
+            col = sp.color_leaves_iid(delta, rng=(13, i))
+            for t in range(T + 1):
+                blue[t] += col.opinions[t].sum()
+                tot[t] += col.opinions[t].size
+        for t in range(T + 1):
+            freq = blue[t] / tot[t]
+            sigma = np.sqrt(max(bound[t] * (1 - bound[t]), 1e-9) / tot[t])
+            assert freq <= bound[t] + 3 * sigma, (t, freq, bound[t])

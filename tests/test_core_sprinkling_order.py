@@ -1,0 +1,81 @@
+"""Order-invariance of the Sprinkling process (DESIGN.md ablation 4).
+
+Section 3 fixes an *arbitrary* reveal order; the majorization machinery
+must not depend on the choice.  Two invariants:
+
+* the collision count per level — hence the pseudo-leaf count and the
+  equation (2) bound — is order-invariant (it equals
+  ``3|Q_t| − |Q_{t−1}|``);
+* the Proposition 3 coupling ``X ≤ X'`` holds for every order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sprinkling import sprinkle
+from repro.core.voting_dag import VotingDAG
+from repro.graphs.implicit import CompleteGraph
+
+
+class TestOrderInvariance:
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_property_collision_count_invariant(self, seed):
+        g = CompleteGraph(30)
+        dag = VotingDAG.sample(g, root=seed % 30, T=4, rng=seed)
+        default = sprinkle(dag)
+        shuffled = sprinkle(dag, order_rng=seed + 1)
+        assert np.array_equal(
+            default.pseudo_leaves_per_level(), shuffled.pseudo_leaves_per_level()
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_property_majorization_any_order(self, seed):
+        g = CompleteGraph(30)
+        dag = VotingDAG.sample(g, root=0, T=3, rng=seed)
+        sp = sprinkle(dag, order_rng=seed + 2)
+        assert sp.is_collision_free_below()
+        col = dag.color_leaves_iid(0.1, rng=seed + 3)
+        col_sp = sp.color(col.opinions[0])
+        for a, b in zip(col.opinions, col_sp.opinions):
+            assert (a <= b).all()
+
+    def test_which_draws_marked_can_differ(self):
+        # Reversed order flips which of two clashing draws is "first".
+        levels = [
+            np.array([5, 6, 7], dtype=np.int64),
+            np.array([1, 2], dtype=np.int64),
+            np.array([0], dtype=np.int64),
+        ]
+        cp = [
+            None,
+            np.array([[0, 1, 2], [0, 1, 2]], dtype=np.int64),
+            np.array([[0, 0, 1]], dtype=np.int64),
+        ]
+        dag = VotingDAG(levels, cp, graph_n=8)
+        fwd = dag.level_collision_draw_mask(1)
+        rev = dag.level_collision_draw_mask(1, order=np.array([1, 0]))
+        assert fwd.sum() == rev.sum() == 3
+        assert fwd[0].sum() == 0 and fwd[1].sum() == 3
+        assert rev[1].sum() == 0 and rev[0].sum() == 3
+
+    def test_order_validated(self):
+        g = CompleteGraph(20)
+        dag = VotingDAG.sample(g, root=0, T=2, rng=1)
+        with pytest.raises(ValueError, match="permutation"):
+            dag.level_collision_draw_mask(1, order=np.array([0, 0, 1]))
+
+    def test_identity_order_matches_default(self):
+        g = CompleteGraph(25)
+        dag = VotingDAG.sample(g, root=0, T=3, rng=2)
+        for t in range(1, 4):
+            ident = np.arange(dag.levels[t].size)
+            assert np.array_equal(
+                dag.level_collision_draw_mask(t),
+                dag.level_collision_draw_mask(t, order=ident),
+            )

@@ -1,0 +1,121 @@
+"""Tests for Theorem 1 hypothesis checking and Monte-Carlo verification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.theorem import check_hypotheses, verify_theorem1
+from repro.graphs.generators import ring_lattice
+from repro.graphs.implicit import CompleteGraph, RookGraph
+
+
+class TestCheckHypotheses:
+    def test_dense_instance_passes(self):
+        cert = check_hypotheses(CompleteGraph(10_000), 0.2)
+        assert cert.density_ok and cert.bias_ok and cert.hypotheses_met
+        assert cert.predicted_rounds > 0
+        assert cert.n == 10_000
+        assert cert.d == 9999
+
+    def test_sparse_instance_fails_density(self):
+        cert = check_hypotheses(ring_lattice(2**16, 4), 0.2)
+        assert not cert.density_ok
+        assert not cert.hypotheses_met
+
+    def test_tiny_bias_fails(self):
+        cert = check_hypotheses(CompleteGraph(10_000), 1e-6)
+        assert not cert.bias_ok
+
+    def test_bias_threshold_scales_with_C(self):
+        g = CompleteGraph(10_000)
+        # (log d)^-2 is a much lower bar than (log d)^-1.
+        strict = check_hypotheses(g, 0.02, C=1.0)
+        loose = check_hypotheses(g, 0.02, C=2.0)
+        assert not strict.bias_ok
+        assert loose.bias_ok
+
+    def test_notes_explain(self):
+        cert = check_hypotheses(RookGraph(32), 0.1)
+        assert any("alpha" in n for n in cert.notes)
+        assert any("delta" in n for n in cert.notes)
+
+    def test_delta_validated(self):
+        with pytest.raises(ValueError):
+            check_hypotheses(CompleteGraph(100), 0.0)
+
+    def test_tiny_graph_rejected(self):
+        with pytest.raises(ValueError, match="n >= 3"):
+            check_hypotheses(CompleteGraph(2), 0.1)
+
+
+class TestVerifyTheorem1:
+    def test_dense_instance_matches(self):
+        g = CompleteGraph(4096)
+        v = verify_theorem1(g, 0.15, trials=10, seed=1)
+        assert v.converged == 10
+        assert v.red_wins == 10
+        assert v.red_win_rate == 1.0
+        assert v.matches_theorem(budget_slack=3.0)
+        assert v.mean_steps <= v.max_steps
+
+    def test_budget_multiplier_sane(self):
+        g = CompleteGraph(4096)
+        v = verify_theorem1(g, 0.15, trials=5, seed=2)
+        assert 0 < v.budget_multiplier < 3.0
+
+    def test_deterministic_given_seed(self):
+        g = CompleteGraph(1024)
+        a = verify_theorem1(g, 0.1, trials=5, seed=3)
+        b = verify_theorem1(g, 0.1, trials=5, seed=3)
+        assert a.red_wins == b.red_wins
+        assert (a.steps == b.steps).all()
+
+    def test_rook_host(self):
+        v = verify_theorem1(RookGraph(48), 0.15, trials=5, seed=4)
+        assert v.red_wins == 5
+
+    def test_unconverged_counted(self):
+        # max_steps=1 cannot reach consensus from a mixed start (w.h.p.).
+        g = CompleteGraph(4096)
+        v = verify_theorem1(g, 0.05, trials=3, seed=5, max_steps=1)
+        assert v.converged < 3
+        assert not v.matches_theorem()
+
+
+class TestFailureBound:
+    """The proof's end-to-end explicit bound (composition of Prop. 3,
+    Lemma 4, eq. (6), union bound)."""
+
+    def test_decreasing_in_scale(self):
+        from repro.core.theorem import theorem1_failure_bound
+
+        values = [
+            theorem1_failure_bound(10**9, 10**8, 0.1),
+            theorem1_failure_bound(10**12, 10**11, 0.1),
+            theorem1_failure_bound(10**15, 10**14, 0.1),
+        ]
+        assert values[0] >= values[1] >= values[2]
+        assert values[2] < 1e-3  # eventually a real w.h.p. statement
+
+    def test_vacuous_at_laptop_scale(self):
+        """Honest reading: the *proof's* constants only bite at
+        astronomical n, even though the *dynamics* works at n=256 (E1) —
+        the usual gap for doubly-logarithmic arguments."""
+        from repro.core.theorem import theorem1_failure_bound
+
+        assert theorem1_failure_bound(10**6, 10**5, 0.1) == 1.0
+
+    def test_capped_at_one(self):
+        from repro.core.theorem import theorem1_failure_bound
+
+        assert theorem1_failure_bound(100, 50, 0.01) <= 1.0
+
+    def test_validates(self):
+        from repro.core.theorem import theorem1_failure_bound
+
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            theorem1_failure_bound(2, 3, 0.1)
+        with _pytest.raises(ValueError):
+            theorem1_failure_bound(10, 10, 0.0)

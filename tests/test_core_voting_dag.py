@@ -1,0 +1,212 @@
+"""Tests for the voting-DAG dual construction and colouring process."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dynamics import BestOfKDynamics
+from repro.core.opinions import BLUE, RED
+from repro.core.voting_dag import VotingDAG
+from repro.graphs.csr import CSRGraph
+from repro.graphs.implicit import CompleteGraph
+
+
+def _manual_dag() -> VotingDAG:
+    """Two-level DAG with known collisions (the E7 figure object)."""
+    levels = [
+        np.array([10, 11, 12, 13, 14], dtype=np.int64),
+        np.array([1, 2, 3], dtype=np.int64),
+        np.array([0], dtype=np.int64),
+    ]
+    child_positions = [
+        None,
+        np.array([[0, 1, 2], [1, 3, 3], [4, 4, 0]], dtype=np.int64),
+        np.array([[0, 1, 2]], dtype=np.int64),
+    ]
+    return VotingDAG(levels, child_positions, graph_n=15)
+
+
+class TestConstruction:
+    def test_sampled_structure(self):
+        g = CompleteGraph(100)
+        dag = VotingDAG.sample(g, root=7, T=4, rng=1)
+        assert dag.T == 4
+        assert dag.root == 7
+        sizes = dag.level_sizes()
+        assert sizes[-1] == 1
+        # Level t has at most 3x the vertices of level t+1.
+        for t in range(4):
+            assert sizes[t] <= 3 * sizes[t + 1]
+
+    def test_levels_are_sorted_unique(self):
+        g = CompleteGraph(50)
+        dag = VotingDAG.sample(g, root=0, T=5, rng=2)
+        for level in dag.levels:
+            assert np.array_equal(level, np.unique(level))
+
+    def test_children_are_graph_neighbors(self, er_medium):
+        dag = VotingDAG.sample(er_medium, root=3, T=3, rng=3)
+        for t in range(1, dag.T + 1):
+            parents = dag.levels[t]
+            children = dag.child_vertices(t)
+            for i, v in enumerate(parents):
+                nbrs = set(int(w) for w in er_medium.neighbors(int(v)))
+                assert set(int(c) for c in children[i]) <= nbrs
+
+    def test_t_zero_is_root_only(self):
+        g = CompleteGraph(10)
+        dag = VotingDAG.sample(g, root=4, T=0, rng=4)
+        assert dag.T == 0
+        assert np.array_equal(dag.levels[0], [4])
+
+    def test_root_validated(self):
+        with pytest.raises(ValueError, match="out of range"):
+            VotingDAG.sample(CompleteGraph(10), root=10, T=2)
+
+    def test_manual_validation(self):
+        dag = _manual_dag()
+        assert dag.total_vertices == 9
+
+    def test_bad_child_positions_rejected(self):
+        levels = [np.array([0, 1]), np.array([2])]
+        with pytest.raises(ValueError, match="shape"):
+            VotingDAG(levels, [None, np.array([[0, 1]])], graph_n=3)
+
+    def test_out_of_range_positions_rejected(self):
+        levels = [np.array([0, 1]), np.array([2])]
+        with pytest.raises(ValueError, match="indexes outside"):
+            VotingDAG(levels, [None, np.array([[0, 1, 5]])], graph_n=3)
+
+    def test_multi_root_rejected(self):
+        levels = [np.array([0, 1])]
+        with pytest.raises(ValueError, match="root"):
+            VotingDAG(levels, [None], graph_n=3)
+
+
+class TestCollisions:
+    def test_manual_collision_structure(self):
+        dag = _manual_dag()
+        # Level 2: distinct draws, no collision; level 1: 4 collisions.
+        assert not dag.level_has_collision(2)
+        assert dag.level_has_collision(1)
+        mask = dag.level_collision_draw_mask(1)
+        assert mask.sum() == 4
+        # Reveal order: a(w1 w2 w3) fresh; b(w2 w4 w4) -> col, fresh, col;
+        # c(w5 w5 w1) -> fresh, col, col.
+        expected = np.array(
+            [[False, False, False], [True, False, True], [False, True, True]]
+        )
+        assert np.array_equal(mask, expected)
+
+    def test_collision_levels_vector(self):
+        dag = _manual_dag()
+        assert np.array_equal(dag.collision_levels(), [True, False])
+        assert dag.num_collision_levels == 1
+
+    def test_ternary_tree_detection(self):
+        levels = [
+            np.array([5, 6, 7], dtype=np.int64),
+            np.array([0], dtype=np.int64),
+        ]
+        cp = [None, np.array([[0, 1, 2]], dtype=np.int64)]
+        dag = VotingDAG(levels, cp, graph_n=8)
+        assert dag.is_ternary_tree
+
+    def test_collision_iff_level_smaller_than_draws(self):
+        g = CompleteGraph(2000)
+        dag = VotingDAG.sample(g, root=0, T=5, rng=9)
+        for t in range(1, 6):
+            expected = dag.levels[t - 1].size < 3 * dag.levels[t].size
+            assert dag.level_has_collision(t) == expected
+
+    def test_t_range_validated(self):
+        dag = _manual_dag()
+        with pytest.raises(ValueError):
+            dag.level_has_collision(0)
+        with pytest.raises(ValueError):
+            dag.level_collision_draw_mask(3)
+
+
+class TestColoring:
+    def test_majority_logic_manual(self):
+        dag = _manual_dag()
+        # Leaves w1..w5 = [B, R, R, B, R].
+        leaves = np.array([1, 0, 0, 1, 0], dtype=np.uint8)
+        col = dag.color(leaves)
+        # a samples (w1,w2,w3) = (B,R,R) -> R; b samples (w2,w4,w4) =
+        # (R,B,B) -> B; c samples (w5,w5,w1) = (R,R,B) -> R.
+        assert np.array_equal(col.opinions[1], [0, 1, 0])
+        # Root samples (a,b,c) = (R,B,R) -> R.
+        assert col.root_opinion == RED
+
+    def test_all_blue_leaves_blue_root(self):
+        g = CompleteGraph(100)
+        dag = VotingDAG.sample(g, root=0, T=4, rng=5)
+        col = dag.color(np.ones(dag.levels[0].size, dtype=np.uint8))
+        assert col.root_opinion == BLUE
+        assert all((lvl == 1).all() for lvl in col.opinions)
+
+    def test_blue_counts(self):
+        dag = _manual_dag()
+        col = dag.color(np.array([1, 0, 0, 1, 0], dtype=np.uint8))
+        assert np.array_equal(col.blue_counts(), [2, 1, 0])
+
+    def test_leaf_shape_validated(self):
+        dag = _manual_dag()
+        with pytest.raises(ValueError, match="shape"):
+            dag.color(np.zeros(3, dtype=np.uint8))
+
+    def test_color_iid_p_blue(self):
+        g = CompleteGraph(500)
+        dag = VotingDAG.sample(g, root=0, T=3, rng=6)
+        col = dag.color_leaves_iid(0.5, rng=7)  # p_blue = 0, all red
+        assert col.root_opinion == RED
+
+    def test_color_bernoulli_extremes(self):
+        g = CompleteGraph(500)
+        dag = VotingDAG.sample(g, root=0, T=3, rng=8)
+        assert dag.color_leaves_bernoulli(1.0, rng=9).root_opinion == BLUE
+        assert dag.color_leaves_bernoulli(0.0, rng=10).root_opinion == RED
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=20, deadline=None)
+    def test_property_coloring_monotone(self, seed):
+        """More blue leaves (pointwise) => more blue everywhere."""
+        g = CompleteGraph(64)
+        dag = VotingDAG.sample(g, root=0, T=3, rng=seed)
+        gen = np.random.default_rng(seed + 1)
+        x = (gen.random(dag.levels[0].size) < 0.3).astype(np.uint8)
+        y = np.maximum(x, (gen.random(dag.levels[0].size) < 0.3).astype(np.uint8))
+        cx, cy = dag.color(x), dag.color(y)
+        for a, b in zip(cx.opinions, cy.opinions):
+            assert (a <= b).all()
+
+
+class TestDualityWithForwardProcess:
+    def test_root_distribution_matches_forward(self):
+        """P(xi_T(v0) = B) computed forward equals the DAG colouring law.
+
+        Monte Carlo on a small complete graph with matched sample counts;
+        compared with a two-proportion z-test tolerance.
+        """
+        n, T, delta, trials = 40, 3, 0.1, 1500
+        g = CompleteGraph(n)
+        dyn = BestOfKDynamics(g, k=3)
+        gen = np.random.default_rng(11)
+        fwd_blue = 0
+        for _ in range(trials):
+            ops = (gen.random(n) < 0.5 - delta).astype(np.uint8)
+            for _ in range(T):
+                ops = dyn.step(ops, gen)
+            fwd_blue += int(ops[0])
+        dag_blue = 0
+        for i in range(trials):
+            dag = VotingDAG.sample(g, root=0, T=T, rng=gen)
+            dag_blue += dag.color_leaves_iid(delta, rng=gen).root_opinion
+        p1, p2 = fwd_blue / trials, dag_blue / trials
+        pooled = (fwd_blue + dag_blue) / (2 * trials)
+        se = np.sqrt(max(2 * pooled * (1 - pooled) / trials, 1e-12))
+        assert abs(p1 - p2) <= 4 * se, (p1, p2)

@@ -1,0 +1,78 @@
+"""Tests for asynchronous Best-of-k dynamics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.opinions import BLUE, RED, random_opinions
+from repro.extensions.async_dynamics import async_best_of_k_run
+from repro.graphs.implicit import CompleteGraph
+
+
+class TestAsyncRun:
+    def test_converges_to_majority(self):
+        g = CompleteGraph(2000)
+        res = async_best_of_k_run(g, random_opinions(2000, 0.15, rng=1), seed=2)
+        assert res.converged and res.winner == RED
+
+    def test_sweep_accounting(self):
+        g = CompleteGraph(500)
+        res = async_best_of_k_run(g, random_opinions(500, 0.2, rng=3), seed=4)
+        assert res.blue_trajectory.size == res.sweeps + 1
+
+    def test_consensus_absorbing(self):
+        g = CompleteGraph(300)
+        res = async_best_of_k_run(g, np.zeros(300, dtype=np.uint8), seed=5)
+        assert res.converged and res.sweeps == 0
+
+    def test_exact_sequential_chain(self):
+        """batch=1 (the exact chain) also converges; just slower to run."""
+        g = CompleteGraph(200)
+        res = async_best_of_k_run(
+            g, random_opinions(200, 0.2, rng=6), seed=7, batch=1, max_sweeps=200
+        )
+        assert res.converged and res.winner == RED
+
+    def test_sweeps_comparable_to_sync_rounds(self):
+        """Async sweeps track synchronous rounds within a small factor."""
+        from repro.core.dynamics import best_of_three
+
+        g = CompleteGraph(4096)
+        init = random_opinions(4096, 0.1, rng=8)
+        sync = best_of_three(g).run(init, seed=9, keep_final=False)
+        asyn = async_best_of_k_run(g, init, seed=10)
+        assert asyn.converged and sync.converged
+        assert asyn.sweeps <= 4 * sync.steps + 5
+
+    def test_blue_majority_wins_too(self):
+        g = CompleteGraph(1000)
+        init = (1 - random_opinions(1000, 0.15, rng=11)).astype(np.uint8)
+        res = async_best_of_k_run(g, init, seed=12)
+        assert res.converged and res.winner == BLUE
+
+    def test_even_k_keeps_self_on_tie(self):
+        g = CompleteGraph(1000)
+        res = async_best_of_k_run(
+            g, random_opinions(1000, 0.15, rng=13), k=2, seed=14
+        )
+        assert res.converged and res.winner == RED
+
+    def test_max_sweeps_respected(self):
+        g = CompleteGraph(2048)
+        res = async_best_of_k_run(
+            g, random_opinions(2048, 0.0, rng=15), seed=16, max_sweeps=1
+        )
+        assert res.sweeps <= 1
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError, match="does not match"):
+            async_best_of_k_run(CompleteGraph(10), np.zeros(5, dtype=np.uint8))
+
+    def test_deterministic(self):
+        g = CompleteGraph(400)
+        init = random_opinions(400, 0.1, rng=17)
+        a = async_best_of_k_run(g, init, seed=18)
+        b = async_best_of_k_run(g, init, seed=18)
+        assert a.sweeps == b.sweeps
+        assert np.array_equal(a.blue_trajectory, b.blue_trajectory)

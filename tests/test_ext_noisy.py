@@ -1,0 +1,106 @@
+"""Tests for ε-noisy Best-of-Three and its bifurcation structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.opinions import random_opinions
+from repro.extensions.noisy_dynamics import (
+    CRITICAL_NOISE,
+    noisy_best_of_three_run,
+    noisy_fixed_points,
+    noisy_ideal_step,
+)
+from repro.graphs.implicit import CompleteGraph
+
+
+class TestNoisyMap:
+    def test_reduces_to_ideal_at_zero_noise(self):
+        from repro.core.recursions import ideal_step
+
+        for b in (0.1, 0.3, 0.45):
+            assert noisy_ideal_step(b, 0.0) == pytest.approx(ideal_step(b))
+
+    def test_full_noise_is_fair_coin(self):
+        for b in (0.0, 0.2, 0.9):
+            assert noisy_ideal_step(b, 1.0) == pytest.approx(0.5)
+
+    def test_half_is_always_fixed(self):
+        for eta in (0.0, 0.1, 0.5, 0.9):
+            assert noisy_ideal_step(0.5, eta) == pytest.approx(0.5)
+
+    @given(
+        b=st.floats(min_value=0, max_value=1),
+        eta=st.floats(min_value=0, max_value=1),
+    )
+    @settings(max_examples=60)
+    def test_property_stays_probability(self, b, eta):
+        assert 0.0 <= noisy_ideal_step(b, eta) <= 1.0
+
+    def test_symmetry(self):
+        # Colour-swap symmetry survives the noise.
+        for b, eta in [(0.2, 0.1), (0.4, 0.3)]:
+            assert noisy_ideal_step(1 - b, eta) == pytest.approx(
+                1 - noisy_ideal_step(b, eta)
+            )
+
+
+class TestFixedPoints:
+    def test_subcritical_three_points(self):
+        pts = noisy_fixed_points(0.1)
+        assert len(pts) == 3
+        for p in pts:
+            assert noisy_ideal_step(p, 0.1) == pytest.approx(p, abs=1e-12)
+
+    def test_supercritical_only_half(self):
+        assert noisy_fixed_points(0.5) == [0.5]
+        assert noisy_fixed_points(CRITICAL_NOISE) == [0.5]
+
+    def test_points_merge_at_critical_noise(self):
+        lo_pts = noisy_fixed_points(CRITICAL_NOISE - 1e-6)
+        assert len(lo_pts) == 3
+        assert lo_pts[0] == pytest.approx(0.5, abs=0.01)
+
+    def test_zero_noise_recovers_consensus_points(self):
+        assert noisy_fixed_points(0.0) == pytest.approx([0.0, 0.5, 1.0])
+
+
+class TestSimulation:
+    def test_subcritical_metastability_matches_fixed_point(self):
+        g = CompleteGraph(20_000)
+        eta = 0.1
+        res = noisy_best_of_three_run(
+            g, random_opinions(20_000, 0.1, rng=1), eta, seed=2, rounds=60
+        )
+        predicted = noisy_fixed_points(eta)[0]
+        assert res.stationary_blue_fraction == pytest.approx(predicted, abs=0.02)
+        assert res.majority_preserved
+
+    def test_supercritical_noise_erases_majority(self):
+        g = CompleteGraph(20_000)
+        res = noisy_best_of_three_run(
+            g, random_opinions(20_000, 0.1, rng=3), 0.6, seed=4, rounds=60
+        )
+        assert res.stationary_blue_fraction == pytest.approx(0.5, abs=0.03)
+
+    def test_never_absorbs(self):
+        g = CompleteGraph(2000)
+        res = noisy_best_of_three_run(
+            g, random_opinions(2000, 0.2, rng=5), 0.2, seed=6, rounds=40
+        )
+        assert res.blue_trajectory.size == 41  # full budget used
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError, match="does not match"):
+            noisy_best_of_three_run(
+                CompleteGraph(10), np.zeros(5, dtype=np.uint8), 0.1
+            )
+
+    def test_eta_validated(self):
+        with pytest.raises(ValueError):
+            noisy_best_of_three_run(
+                CompleteGraph(10), np.zeros(10, dtype=np.uint8), 1.5
+            )

@@ -1,0 +1,89 @@
+"""Tests for the deterministic expander/structured host constructions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.expanders import hypercube, margulis_torus, paley_like_circulant
+from repro.graphs.spectral import second_eigenvalue
+
+
+class TestHypercube:
+    def test_structure(self):
+        g = hypercube(4)
+        assert g.num_vertices == 16
+        assert (g.degrees == 4).all()
+        assert g.num_edges == 32
+        # Neighbours of 0 are the powers of two.
+        assert set(int(x) for x in g.neighbors(0)) == {1, 2, 4, 8}
+
+    def test_known_spectrum(self):
+        # Transition eigenvalues 1 - 2j/d: lambda2 = 1 (bipartite: j=d
+        # gives -1).  The hypercube IS bipartite, so |lambda2| = 1.
+        g = hypercube(4)
+        assert second_eigenvalue(g) == pytest.approx(1.0, abs=1e-8)
+
+    def test_dimension_capped(self):
+        with pytest.raises(ValueError, match="limit"):
+            hypercube(23)
+
+    def test_connected(self):
+        import networkx as nx
+
+        assert nx.is_connected(hypercube(5).to_networkx())
+
+
+class TestMargulisTorus:
+    def test_structure(self):
+        g = margulis_torus(8)
+        assert g.num_vertices == 64
+        assert 4 <= g.min_degree <= 8
+        assert g.max_degree <= 8
+
+    def test_expansion(self):
+        # Constant spectral gap independent of size.
+        lam_small = second_eigenvalue(margulis_torus(10))
+        lam_large = second_eigenvalue(margulis_torus(24))
+        assert lam_small < 0.95
+        assert lam_large < 0.95
+        assert abs(lam_large - lam_small) < 0.25
+
+    def test_connected(self):
+        import networkx as nx
+
+        assert nx.is_connected(margulis_torus(9).to_networkx())
+
+    def test_size_validated(self):
+        with pytest.raises(ValueError, match=">= 3"):
+            margulis_torus(2)
+
+
+class TestPaleyLikeCirculant:
+    def test_degree_scale(self):
+        g = paley_like_circulant(1024)
+        # Degree ~ sqrt(n): alpha ~ 1/2.
+        assert 0.35 <= g.alpha <= 0.7
+        # Circulant: vertex-transitive, hence regular.
+        assert g.min_degree == g.max_degree
+
+    def test_meets_theorem1_density(self):
+        from repro.graphs.properties import is_dense_for_theorem1
+
+        assert is_dense_for_theorem1(paley_like_circulant(4096))
+
+    def test_good_expansion(self):
+        lam = second_eigenvalue(paley_like_circulant(512))
+        assert lam < 0.9
+
+    def test_dynamics_runs(self):
+        from repro.core.dynamics import best_of_three
+        from repro.core.opinions import random_opinions
+
+        g = paley_like_circulant(2048)
+        res = best_of_three(g).run(random_opinions(2048, 0.15, rng=1), seed=2)
+        assert res.converged and res.winner == 0
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ValueError, match="n >= 8"):
+            paley_like_circulant(4)

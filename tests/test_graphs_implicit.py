@@ -1,0 +1,171 @@
+"""Tests for implicit dense families.
+
+The central contract: an implicit host's sampling distribution must match
+the explicit CSR materialisation's *exactly* (same support, uniform).  We
+check support inclusion deterministically and uniformity statistically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.graphs.implicit import (
+    CompleteBipartiteGraph,
+    CompleteGraph,
+    CompleteMultipartiteGraph,
+    RookGraph,
+)
+
+
+def _support_check(graph, rng, draws=200):
+    """All samples of every vertex must be CSR-neighbours of it."""
+    csr = graph.to_csr()
+    n = graph.num_vertices
+    vertices = np.arange(n, dtype=np.int64)
+    out = graph.sample_neighbors(vertices, draws, rng)
+    for v in range(n):
+        nbrs = set(int(w) for w in csr.neighbors(v))
+        got = set(int(x) for x in out[v])
+        assert got <= nbrs, f"vertex {v}: sampled {got - nbrs} outside neighbourhood"
+
+
+def _uniformity_check(graph, vertex, rng, draws=6000):
+    """Chi-squared uniformity of single-vertex draws over its CSR row."""
+    csr = graph.to_csr()
+    nbrs = np.sort(csr.neighbors(vertex))
+    out = graph.sample_neighbors(np.full(draws, vertex, dtype=np.int64), 1, rng)
+    counts = np.array([(out[:, 0] == w).sum() for w in nbrs])
+    _, p = stats.chisquare(counts)
+    assert p > 1e-4, f"vertex {vertex}: non-uniform draw frequencies (p={p})"
+
+
+class TestCompleteGraph:
+    def test_basic_properties(self):
+        g = CompleteGraph(10)
+        assert g.num_vertices == 10
+        assert g.num_edges == 45
+        assert g.min_degree == 9
+        assert g.alpha == pytest.approx(np.log(9) / np.log(10))
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError, match="n >= 2"):
+            CompleteGraph(1)
+
+    def test_never_samples_self(self, rng):
+        g = CompleteGraph(50)
+        vertices = np.arange(50, dtype=np.int64)
+        out = g.sample_neighbors(vertices, 40, rng)
+        assert not np.any(out == vertices[:, None])
+
+    def test_support(self, rng):
+        _support_check(CompleteGraph(8), rng)
+
+    def test_uniformity(self, rng):
+        _uniformity_check(CompleteGraph(9), 4, rng)
+
+    def test_materialisation_cap(self):
+        with pytest.raises(ValueError, match="refusing"):
+            CompleteGraph(5000).to_csr()
+
+    def test_csr_matches(self):
+        csr = CompleteGraph(6).to_csr()
+        assert csr.num_edges == 15
+        assert np.array_equal(csr.degrees, np.full(6, 5))
+
+
+class TestCompleteBipartite:
+    def test_degrees(self):
+        g = CompleteBipartiteGraph(3, 7)
+        assert np.array_equal(g.degrees[:3], [7, 7, 7])
+        assert np.array_equal(g.degrees[3:], [3] * 7)
+        assert g.num_edges == 21
+
+    def test_sides_respected(self, rng):
+        g = CompleteBipartiteGraph(4, 6)
+        left = g.sample_neighbors(np.arange(4, dtype=np.int64), 30, rng)
+        right = g.sample_neighbors(np.arange(4, 10, dtype=np.int64), 30, rng)
+        assert (left >= 4).all() and (left < 10).all()
+        assert (right < 4).all()
+
+    def test_support(self, rng):
+        _support_check(CompleteBipartiteGraph(3, 4), rng)
+
+    def test_uniformity(self, rng):
+        _uniformity_check(CompleteBipartiteGraph(5, 8), 2, rng)
+
+    def test_part_sizes(self):
+        assert CompleteBipartiteGraph(2, 9).part_sizes == (2, 9)
+
+
+class TestCompleteMultipartite:
+    def test_degrees(self):
+        g = CompleteMultipartiteGraph([2, 3, 5])
+        assert g.num_vertices == 10
+        assert np.array_equal(g.degrees[:2], [8, 8])
+        assert np.array_equal(g.degrees[2:5], [7, 7, 7])
+        assert np.array_equal(g.degrees[5:], [5] * 5)
+
+    def test_never_samples_own_part(self, rng):
+        g = CompleteMultipartiteGraph([4, 4, 4])
+        out = g.sample_neighbors(np.arange(12, dtype=np.int64), 50, rng)
+        part = np.repeat([0, 1, 2], 4)
+        for v in range(12):
+            assert not np.any(part[out[v]] == part[v])
+
+    def test_support(self, rng):
+        _support_check(CompleteMultipartiteGraph([2, 3, 4]), rng)
+
+    def test_uniformity(self, rng):
+        _uniformity_check(CompleteMultipartiteGraph([3, 3, 3]), 1, rng)
+
+    def test_single_part_rejected(self):
+        with pytest.raises(ValueError, match="two parts"):
+            CompleteMultipartiteGraph([5])
+
+    def test_zero_size_part_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            CompleteMultipartiteGraph([3, 0])
+
+    def test_two_parts_equals_bipartite(self, rng):
+        multi = CompleteMultipartiteGraph([3, 4])
+        bi = CompleteBipartiteGraph(3, 4)
+        assert np.array_equal(multi.degrees, bi.degrees)
+        assert multi.to_csr().num_edges == bi.to_csr().num_edges
+
+
+class TestRookGraph:
+    def test_regularity(self):
+        g = RookGraph(5)
+        assert g.num_vertices == 25
+        assert (g.degrees == 8).all()
+        assert g.num_edges == 100
+
+    def test_samples_share_row_or_column(self, rng):
+        m = 6
+        g = RookGraph(m)
+        vertices = np.arange(m * m, dtype=np.int64)
+        out = g.sample_neighbors(vertices, 30, rng)
+        row, col = vertices // m, vertices % m
+        orow, ocol = out // m, out % m
+        same_row = orow == row[:, None]
+        same_col = ocol == col[:, None]
+        assert np.all(same_row | same_col)
+        assert not np.any(same_row & same_col)  # never self
+
+    def test_support(self, rng):
+        _support_check(RookGraph(4), rng)
+
+    def test_uniformity(self, rng):
+        _uniformity_check(RookGraph(4), 5, rng)
+
+    def test_alpha_near_half(self):
+        # d = 2(m-1) ~ 2 sqrt(n): alpha = 1/2 + log(2)/log(n) + o(1).
+        g = RookGraph(64)
+        assert 0.5 < g.alpha < 0.62
+        assert RookGraph(256).alpha < g.alpha  # decreasing toward 1/2
+
+    def test_board_too_small(self):
+        with pytest.raises(ValueError, match="m >= 2"):
+            RookGraph(1)

@@ -1,0 +1,103 @@
+"""Tests for density/degree diagnostics tied to the Theorem 1 hypotheses."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import ring_lattice, star_polluted
+from repro.graphs.implicit import CompleteGraph, RookGraph
+from repro.graphs.properties import (
+    alpha_of,
+    degree_statistics,
+    effective_min_degree,
+    is_dense_for_theorem1,
+)
+
+
+class TestDegreeStatistics:
+    def test_complete(self):
+        s = degree_statistics(CompleteGraph(20))
+        assert s.n == 20
+        assert s.d_min == s.d_max == 19
+        assert s.num_edges == 190
+        assert s.alpha == pytest.approx(math.log(19) / math.log(20))
+
+    def test_mixed_degrees(self):
+        s = degree_statistics(star_polluted(10, 5))
+        assert s.d_min == 1
+        assert s.d_max > 9
+        assert s.d_mean > 1
+
+    def test_str_renders(self):
+        assert "alpha=" in str(degree_statistics(CompleteGraph(8)))
+
+
+class TestAlpha:
+    def test_alpha_of_matches_property(self):
+        g = RookGraph(16)
+        assert alpha_of(g) == g.alpha
+
+    def test_tiny_graph_raises(self):
+        from repro.graphs.csr import CSRGraph
+
+        g = CSRGraph.from_edges(2, [(0, 1)])
+        # alpha defined (d=1 -> log 1 = 0): alpha = 0.
+        assert g.alpha == 0.0
+
+
+class TestDensityCheck:
+    def test_complete_is_dense(self):
+        assert is_dense_for_theorem1(CompleteGraph(1000))
+
+    def test_rook_is_dense(self):
+        assert is_dense_for_theorem1(RookGraph(64))
+
+    def test_constant_degree_large_n_fails(self):
+        assert not is_dense_for_theorem1(ring_lattice(2**16, 4))
+
+    def test_pendants_fail(self):
+        assert not is_dense_for_theorem1(star_polluted(500, 50))
+
+    def test_c_tunes_strictness(self):
+        g = ring_lattice(4096, 8)
+        # alpha = log 8 / log 4096 = 0.25; loglog(4096) ~ 2.12 ->
+        # threshold(c=1) ~ 0.47 (fails), threshold(c=0.4) ~ 0.19 (passes).
+        assert not is_dense_for_theorem1(g, c=1.0)
+        assert is_dense_for_theorem1(g, c=0.4)
+
+    def test_c_validated(self):
+        with pytest.raises(ValueError, match="positive"):
+            is_dense_for_theorem1(CompleteGraph(10), c=0)
+
+    def test_tiny_n_rejected(self):
+        with pytest.raises(ValueError, match="n >= 3"):
+            is_dense_for_theorem1(CompleteGraph(2))
+
+
+class TestEffectiveMinDegree:
+    def test_regular_graph(self):
+        assert effective_min_degree(CompleteGraph(50)) == 49
+
+    def test_rare_low_degree_ignored(self):
+        # 500-core clique + 5 pendants: degree-1 vertices are only 1% of n
+        # at theta=0.02 they are ignored.
+        g = star_polluted(500, 5)
+        assert effective_min_degree(g, theta=0.02) >= 499
+
+    def test_frequent_low_degree_counted(self):
+        g = star_polluted(100, 100)  # half the graph is pendants
+        assert effective_min_degree(g, theta=0.2) == 1
+
+    def test_theta_validated(self):
+        with pytest.raises(ValueError, match="theta"):
+            effective_min_degree(CompleteGraph(10), theta=0.0)
+
+    def test_all_distinct_falls_back_to_min(self):
+        from repro.graphs.csr import CSRGraph
+
+        # Path of 4: degrees 1,2,2,1; with theta=1 no value reaches n.
+        g = CSRGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert effective_min_degree(g, theta=1.0) == 1

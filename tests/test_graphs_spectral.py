@@ -1,0 +1,83 @@
+"""Tests for spectral diagnostics (lambda_2 of the transition matrix)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import random_regular, two_clique_bridge
+from repro.graphs.implicit import CompleteBipartiteGraph, CompleteGraph
+from repro.graphs.spectral import second_eigenvalue, spectral_gap, transition_spectrum
+
+
+class TestKnownSpectra:
+    def test_complete_graph(self):
+        # K_n transition spectrum: 1 with multiplicity 1, -1/(n-1) otherwise.
+        g = CompleteGraph(8).to_csr()
+        lam2 = second_eigenvalue(g)
+        assert lam2 == pytest.approx(1.0 / 7.0, abs=1e-8)
+
+    def test_odd_cycle(self):
+        # C_n (odd): eigenvalues cos(2 pi k/n); the largest in absolute
+        # value after 1 is |cos(2 pi floor(n/2)/n)| = cos(pi/n).
+        n = 13
+        edges = [(i, (i + 1) % n) for i in range(n)]
+        g = CSRGraph.from_edges(n, edges)
+        assert second_eigenvalue(g) == pytest.approx(np.cos(np.pi / n), abs=1e-8)
+
+    def test_even_cycle_is_bipartite(self):
+        # C_12 is bipartite: eigenvalue -1 makes |lambda2| = 1.
+        n = 12
+        edges = [(i, (i + 1) % n) for i in range(n)]
+        g = CSRGraph.from_edges(n, edges)
+        assert second_eigenvalue(g) == pytest.approx(1.0, abs=1e-8)
+
+    def test_bipartite_has_lambda2_one(self):
+        # K_{a,b} has eigenvalue -1 (bipartite), so |lambda2| = 1.
+        g = CompleteBipartiteGraph(4, 6).to_csr()
+        assert second_eigenvalue(g) == pytest.approx(1.0, abs=1e-8)
+
+    def test_perron_eigenvalue_is_one(self):
+        g = CompleteGraph(10).to_csr()
+        spec = transition_spectrum(g, k=3)
+        assert spec[0] == pytest.approx(1.0, abs=1e-8)
+
+
+class TestStructuralExpectations:
+    def test_regular_random_graph_expands(self):
+        # lambda2 ~ 2 sqrt(d-1)/d << 1 for random regular graphs.
+        g = random_regular(400, 16, seed=3)
+        lam2 = second_eigenvalue(g)
+        assert lam2 < 0.6
+        bound = 2 * np.sqrt(15) / 16
+        assert lam2 < bound * 1.6  # generous Alon-Boppana-ish window
+
+    def test_bottleneck_raises_lambda2(self):
+        good = random_regular(200, 12, seed=4)
+        bad = two_clique_bridge(100)
+        assert second_eigenvalue(bad) > second_eigenvalue(good)
+        assert second_eigenvalue(bad) > 0.95
+
+    def test_spectral_gap_complement(self):
+        g = random_regular(150, 10, seed=5)
+        assert spectral_gap(g) == pytest.approx(1 - second_eigenvalue(g))
+
+
+class TestLanczosPathAgreesWithDense:
+    def test_large_graph_uses_sparse_path(self):
+        # n > 512 triggers eigsh; cross-check against the dense solver by
+        # materialising the same graph's normalized adjacency.
+        g = random_regular(600, 8, seed=6)
+        lam2_sparse = second_eigenvalue(g)
+        a = g.adjacency_scipy().toarray()
+        dinv = 1 / np.sqrt(g.degrees.astype(float))
+        sym = a * dinv[:, None] * dinv[None, :]
+        vals = np.linalg.eigvalsh(sym)
+        lam2_dense = sorted(np.abs(vals))[-2]
+        assert lam2_sparse == pytest.approx(lam2_dense, abs=1e-6)
+
+    def test_k_validated(self):
+        g = CompleteGraph(6).to_csr()
+        with pytest.raises(ValueError, match="k must be >= 1"):
+            transition_spectrum(g, k=0)

@@ -1,0 +1,84 @@
+"""Tests for the experiment harness plumbing (registry, result type, report).
+
+The experiments themselves are validated by the integration smoke test
+(test_integration.py) and regenerated in full by the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.base import ExperimentResult
+from repro.harness.registry import all_experiment_ids, get_runner, run_experiment
+
+
+class TestRegistry:
+    def test_all_ids_present(self):
+        ids = all_experiment_ids()
+        assert ids == [f"E{i}" for i in range(1, 17)]
+        # E1-E12 reproduce the paper; E13-E16 are extensions.
+
+    def test_get_runner_returns_callable(self):
+        runner = get_runner("E7")
+        assert callable(runner)
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError, match="unknown experiment id"):
+            get_runner("E99")
+
+    def test_run_experiment_dispatch(self):
+        res = run_experiment("E7", quick=True, seed=0)
+        assert res.experiment_id == "E7"
+        assert isinstance(res, ExperimentResult)
+
+    def test_experiment_modules_export_metadata(self):
+        import importlib
+
+        from repro.harness.registry import _MODULES
+
+        for eid, module_name in _MODULES.items():
+            mod = importlib.import_module(module_name)
+            assert mod.EXPERIMENT_ID == eid
+            assert isinstance(mod.TITLE, str) and mod.TITLE
+            assert isinstance(mod.PAPER_CLAIM, str) and mod.PAPER_CLAIM
+
+
+class TestExperimentResult:
+    def _result(self, passed=True):
+        return ExperimentResult(
+            experiment_id="EX",
+            title="demo",
+            paper_claim="claim",
+            columns=["a", "b"],
+            rows=[{"a": 1, "b": 2.0}],
+            summary=["line one"],
+            verdict="ok",
+            passed=passed,
+            extras={"plot": "PLOT"},
+        )
+
+    def test_table_markdown(self):
+        md = self._result().table_markdown()
+        assert md.splitlines()[0].startswith("| a")
+
+    def test_to_markdown_sections(self):
+        md = self._result().to_markdown()
+        assert "### EX — demo" in md
+        assert "**Paper claim.** claim" in md
+        assert "- line one" in md
+        assert "**Verdict (PASS).** ok" in md
+        assert "PLOT" in md
+
+    def test_failed_verdict_label(self):
+        md = self._result(passed=False).to_markdown()
+        assert "**Verdict (CHECK).**" in md
+
+
+class TestReportGeneration:
+    def test_report_subset(self):
+        from repro.harness.report import generate_report
+
+        text = generate_report(quick=True, seed=0, ids=["E7", "E5"])
+        assert "EXPERIMENTS — paper vs. measured" in text
+        assert "### E7" in text and "### E5" in text
+        assert "Scoreboard: 2/2" in text

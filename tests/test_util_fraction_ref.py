@@ -1,0 +1,122 @@
+"""Tests for the exact rational recursion references (and cross-checks
+against the float64 production implementations — DESIGN.md ablation 5)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.recursions import (
+    ideal_step,
+    ideal_trajectory,
+    sprinkled_step,
+    sprinkled_step_tight,
+)
+from repro.util.fraction_ref import (
+    gap_step_lower_exact,
+    ideal_step_exact,
+    ideal_trajectory_exact,
+    sprinkled_step_exact,
+    sprinkled_trajectory_exact,
+)
+
+unit_fracs = st.fractions(min_value=0, max_value=1, max_denominator=1000)
+
+
+class TestIdealExact:
+    def test_fixed_points(self):
+        for fp in (Fraction(0), Fraction(1, 2), Fraction(1)):
+            assert ideal_step_exact(fp) == fp
+
+    def test_known_value(self):
+        # b = 1/4: 3/16 - 2/64 = 12/64 - 2/64 = 10/64 = 5/32.
+        assert ideal_step_exact(Fraction(1, 4)) == Fraction(5, 32)
+
+    def test_trajectory_length(self):
+        traj = ideal_trajectory_exact(Fraction(2, 5), 5)
+        assert len(traj) == 6
+        assert traj[0] == Fraction(2, 5)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ideal_step_exact(Fraction(3, 2))
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ValueError):
+            ideal_trajectory_exact(Fraction(1, 3), -1)
+
+    @given(unit_fracs)
+    def test_stays_in_unit_interval(self, b):
+        assert 0 <= ideal_step_exact(b) <= 1
+
+    @given(st.fractions(min_value=0, max_value="1/2", max_denominator=500))
+    def test_monotone_decrease_below_half(self, b):
+        # On [0, 1/2] the map satisfies f(b) <= b (blue shrinks).
+        assert ideal_step_exact(b) <= b
+
+
+class TestSprinkledExact:
+    def test_zero_eps_reduces_to_ideal(self):
+        b = Fraction(3, 10)
+        assert sprinkled_step_exact(b, 0) == ideal_step_exact(b)
+
+    def test_eps_one_forces_blue(self):
+        assert sprinkled_step_exact(Fraction(1, 10), 1) == 1
+
+    @given(unit_fracs, unit_fracs)
+    def test_result_is_probability(self, p, e):
+        assert 0 <= sprinkled_step_exact(p, e) <= 1
+
+    @given(unit_fracs, unit_fracs)
+    def test_monotone_in_eps(self, p, e):
+        # More collisions -> more forced blue.
+        e2 = e + (1 - e) / 2
+        assert sprinkled_step_exact(p, e) <= sprinkled_step_exact(p, e2)
+
+    def test_trajectory_respects_schedule_length(self):
+        traj = sprinkled_trajectory_exact(Fraction(2, 5), [Fraction(1, 100)] * 4)
+        assert len(traj) == 5
+
+
+class TestGapExact:
+    def test_zero_eps_drift(self):
+        d = Fraction(1, 10)
+        expected = d + d / 2 - 2 * d**3
+        assert gap_step_lower_exact(d, 0) == expected
+
+    def test_eps_reduces_growth(self):
+        assert gap_step_lower_exact(Fraction(1, 10), Fraction(1, 100)) < (
+            gap_step_lower_exact(Fraction(1, 10), 0)
+        )
+
+
+class TestFloatAgreesWithExact:
+    """The production float64 maps agree with exact arithmetic."""
+
+    @given(unit_fracs)
+    def test_ideal_step_matches(self, b):
+        assert ideal_step(float(b)) == pytest.approx(
+            float(ideal_step_exact(b)), abs=1e-12
+        )
+
+    @given(unit_fracs, st.fractions(min_value=0, max_value="1/4", max_denominator=500))
+    def test_sprinkled_tight_matches(self, p, e):
+        assert sprinkled_step_tight(float(p), float(e)) == pytest.approx(
+            float(sprinkled_step_exact(p, e)), abs=1e-12
+        )
+
+    @given(unit_fracs, st.fractions(min_value=0, max_value="1/4", max_denominator=500))
+    def test_relaxed_dominates_tight(self, p, e):
+        """The paper's relaxation in eq. (2) is a genuine upper bound."""
+        assert sprinkled_step(float(p), float(e)) >= (
+            sprinkled_step_tight(float(p), float(e)) - 1e-12
+        )
+
+    def test_trajectory_matches_over_proof_range(self):
+        exact = ideal_trajectory_exact(Fraction(2, 5), 12)
+        approx = ideal_trajectory(0.4, 12)
+        for e, a in zip(exact, approx):
+            assert a == pytest.approx(float(e), abs=1e-9)

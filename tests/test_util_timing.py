@@ -1,0 +1,39 @@
+"""Tests for repro.util.timing."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.util.timing import Timer
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        first = t.elapsed
+        assert first >= 0.009
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed > first
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+
+    def test_reset_while_running_raises(self):
+        t = Timer()
+        with pytest.raises(RuntimeError, match="running"):
+            with t:
+                t.reset()
+
+    def test_context_returns_self(self):
+        t = Timer()
+        with t as inner:
+            assert inner is t

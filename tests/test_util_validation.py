@@ -1,0 +1,117 @@
+"""Tests for repro.util.validation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.validation import (
+    check_fraction,
+    check_in_range,
+    check_nonnegative_int,
+    check_odd,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestPositiveInt:
+    def test_accepts_and_casts(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_integers(self):
+        import numpy as np
+
+        assert check_positive_int(np.int64(4), "x") == 4
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError, match="x must be >= 1"):
+            check_positive_int(bad, "x")
+
+    @pytest.mark.parametrize("bad", [1.5, "3", None, True])
+    def test_rejects_non_integers(self, bad):
+        with pytest.raises(TypeError, match="x must be an integer"):
+            check_positive_int(bad, "x")
+
+
+class TestNonnegativeInt:
+    def test_zero_ok(self):
+        assert check_nonnegative_int(0, "x") == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            check_nonnegative_int(-1, "x")
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            check_nonnegative_int(False, "x")
+
+
+class TestProbability:
+    @pytest.mark.parametrize("p", [0.0, 0.5, 1.0])
+    def test_boundary_values_ok(self, p):
+        assert check_probability(p, "p") == p
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, float("nan")])
+    def test_out_of_range(self, bad):
+        with pytest.raises(ValueError):
+            check_probability(bad, "p")
+
+    def test_int_zero_ok(self):
+        assert check_probability(0, "p") == 0.0
+
+    def test_string_rejected(self):
+        with pytest.raises(TypeError):
+            check_probability("0.5", "p")
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_accepts_all_unit_interval(self, p):
+        assert check_probability(p, "p") == p
+
+
+class TestFraction:
+    def test_interior_ok(self):
+        assert check_fraction(0.3, "f") == 0.3
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0])
+    def test_endpoints_rejected(self, bad):
+        with pytest.raises(ValueError, match="strictly"):
+            check_fraction(bad, "f")
+
+
+class TestInRange:
+    def test_closed_interval(self):
+        assert check_in_range(0.5, "x", 0.5, 1.0) == 0.5
+
+    def test_open_low_rejects_boundary(self):
+        with pytest.raises(ValueError):
+            check_in_range(0.5, "x", 0.5, 1.0, low_open=True)
+
+    def test_open_high_rejects_boundary(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.0, "x", 0.5, 1.0, high_open=True)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_in_range(float("nan"), "x", 0.0, 1.0)
+
+    def test_error_mentions_interval_style(self):
+        with pytest.raises(ValueError, match=r"\(0.0, 1.0\]"):
+            check_in_range(0.0, "x", 0.0, 1.0, low_open=True)
+
+
+class TestOdd:
+    @pytest.mark.parametrize("k", [1, 3, 5, 7])
+    def test_odd_ok(self, k):
+        assert check_odd(k, "k") == k
+
+    @pytest.mark.parametrize("k", [2, 4, 100])
+    def test_even_rejected(self, k):
+        with pytest.raises(ValueError, match="odd"):
+            check_odd(k, "k")
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            check_odd(0, "k")
