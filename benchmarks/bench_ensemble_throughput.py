@@ -1,0 +1,249 @@
+"""Ensemble-engine throughput: batched vs loop, count-chain vs dense.
+
+Measures replicas/sec for the two DESIGN.md §2.3 engine ablations:
+
+* **batched vs sequential loop** — the ``(R, n)``-matrix engine against
+  the old per-trial Python loop around ``BestOfKDynamics.run`` (same
+  protocol, same initial-condition law);
+* **count-chain vs dense** — the exact ``K_n`` blue-count chain against
+  the per-vertex batched simulation, including a Theorem 1 verification
+  at ``n = 10⁷`` that is simply out of reach for the dense path.
+
+Run standalone for the full acceptance-size report::
+
+    PYTHONPATH=src python benchmarks/bench_ensemble_throughput.py
+
+or via the smoke runner (writes a ``BENCH_*.json`` snapshot)::
+
+    PYTHONPATH=src python benchmarks/run_bench.py
+
+The pytest-benchmark entries at the bottom keep these paths in the timed
+suite (`pytest benchmarks/ --benchmark-only`) at small sizes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.dynamics import BestOfKDynamics
+from repro.core.ensemble import run_ensemble
+from repro.core.opinions import random_opinions
+from repro.core.theorem import verify_theorem1
+from repro.graphs.implicit import CompleteGraph, RookGraph
+from repro.util.rng import spawn_generators
+
+__all__ = [
+    "sequential_loop",
+    "bench_batched_vs_loop",
+    "bench_count_chain_vs_dense",
+    "bench_count_chain_theorem1",
+]
+
+
+def sequential_loop(graph, *, trials, delta, seed, max_steps=500, k=3):
+    """The pre-engine baseline: one ``BestOfKDynamics.run`` per trial."""
+    dyn = BestOfKDynamics(graph, k=k)
+    n = graph.num_vertices
+    gens = spawn_generators(seed, 2 * trials)
+    converged = 0
+    for i in range(trials):
+        init = random_opinions(n, delta, rng=gens[2 * i])
+        res = dyn.run(
+            init, seed=gens[2 * i + 1], max_steps=max_steps, keep_final=False
+        )
+        converged += int(res.converged)
+    return converged
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+def bench_batched_vs_loop(
+    *, n=2**16, replicas=100, delta=0.1, seed=0, max_steps=500, host="complete"
+):
+    """Replicas/sec: engine (auto + forced-dense) vs the sequential loop.
+
+    On the complete-graph host the engine's ``auto`` route is the exact
+    count chain — the headline speedup — while ``batched`` isolates the
+    dense-path gain (shared rounds + compaction + int32 gathers).
+    """
+    graph = CompleteGraph(n) if host == "complete" else RookGraph(int(np.sqrt(n)))
+    n = graph.num_vertices
+
+    t_loop, _ = _timed(
+        lambda: sequential_loop(
+            graph, trials=replicas, delta=delta, seed=seed, max_steps=max_steps
+        )
+    )
+    t_batched, res_b = _timed(
+        lambda: run_ensemble(
+            graph, replicas=replicas, delta=delta, seed=seed,
+            max_steps=max_steps, record_trajectories=False, method="batched",
+        )
+    )
+    t_auto, res_a = _timed(
+        lambda: run_ensemble(
+            graph, replicas=replicas, delta=delta, seed=seed,
+            max_steps=max_steps, record_trajectories=False, method="auto",
+        )
+    )
+    return {
+        "host": type(graph).__name__,
+        "n": n,
+        "replicas": replicas,
+        "delta": delta,
+        "loop_seconds": t_loop,
+        "loop_replicas_per_sec": replicas / t_loop,
+        "batched_seconds": t_batched,
+        "batched_replicas_per_sec": replicas / t_batched,
+        "batched_speedup_vs_loop": t_loop / t_batched,
+        "engine_auto_method": res_a.method,
+        "engine_auto_seconds": t_auto,
+        "engine_auto_replicas_per_sec": replicas / t_auto,
+        "engine_auto_speedup_vs_loop": t_loop / t_auto,
+        "all_converged": bool(res_b.converged.all() and res_a.converged.all()),
+    }
+
+
+def bench_count_chain_vs_dense(*, n=2**16, replicas=100, delta=0.1, seed=0):
+    """Replicas/sec: the exact count chain vs the dense K_n simulation."""
+    graph = CompleteGraph(n)
+    t_dense, _ = _timed(
+        lambda: run_ensemble(
+            graph, replicas=replicas, delta=delta, seed=seed,
+            max_steps=500, record_trajectories=False, method="batched",
+        )
+    )
+    t_chain, res = _timed(
+        lambda: run_ensemble(
+            graph, replicas=replicas, delta=delta, seed=seed,
+            max_steps=500, record_trajectories=False, method="count_chain",
+        )
+    )
+    return {
+        "n": n,
+        "replicas": replicas,
+        "dense_seconds": t_dense,
+        "dense_replicas_per_sec": replicas / t_dense,
+        "count_chain_seconds": t_chain,
+        "count_chain_replicas_per_sec": replicas / t_chain,
+        "count_chain_speedup_vs_dense": t_dense / t_chain,
+        "mean_steps": float(res.converged_steps.mean()),
+    }
+
+
+def bench_count_chain_theorem1(*, n=10**7, trials=50, delta=0.1, seed=0):
+    """A full Theorem 1 verification at count-chain-only scale."""
+    graph = CompleteGraph(n)
+    t, verdict = _timed(
+        lambda: verify_theorem1(graph, delta, trials=trials, seed=seed)
+    )
+    return {
+        "n": n,
+        "trials": trials,
+        "delta": delta,
+        "seconds": t,
+        "replicas_per_sec": trials / t,
+        "red_wins": verdict.red_wins,
+        "converged": verdict.converged,
+        "mean_steps": verdict.mean_steps,
+        "max_steps": verdict.max_steps,
+    }
+
+
+def full_report():
+    """The acceptance-size measurements (ISSUE 1 criteria)."""
+    return {
+        "batched_vs_loop_Kn_2e16": bench_batched_vs_loop(
+            n=2**16, replicas=100, delta=0.1, seed=0
+        ),
+        "batched_vs_loop_rook": bench_batched_vs_loop(
+            n=2**14, replicas=100, delta=0.1, seed=0, host="rook"
+        ),
+        "count_chain_vs_dense_Kn_2e16": bench_count_chain_vs_dense(
+            n=2**16, replicas=100, delta=0.1, seed=0
+        ),
+        "count_chain_theorem1_1e7": bench_count_chain_theorem1(
+            n=10**7, trials=50, delta=0.1, seed=0
+        ),
+    }
+
+
+def smoke_report():
+    """Small sizes for CI smoke runs (same shape as :func:`full_report`)."""
+    return {
+        "batched_vs_loop_Kn_2e12": bench_batched_vs_loop(
+            n=2**12, replicas=50, delta=0.1, seed=0
+        ),
+        "batched_vs_loop_rook": bench_batched_vs_loop(
+            n=2**10, replicas=50, delta=0.1, seed=0, host="rook"
+        ),
+        "count_chain_vs_dense_Kn_2e12": bench_count_chain_vs_dense(
+            n=2**12, replicas=50, delta=0.1, seed=0
+        ),
+        "count_chain_theorem1_1e6": bench_count_chain_theorem1(
+            n=10**6, trials=20, delta=0.1, seed=0
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entries (small sizes; the suite stays fast)
+# ----------------------------------------------------------------------
+
+
+def test_engine_batched_round_kn(benchmark):
+    """One batched Best-of-3 round, 50 replicas on K_{2^14}."""
+    from repro.core.ensemble import step_best_of_k_batch
+
+    n, reps = 2**14, 50
+    g = CompleteGraph(n)
+    batch = np.stack([random_opinions(n, 0.1, rng=i) for i in range(reps)])
+    rng = np.random.default_rng(0)
+    out = np.empty_like(batch)
+    benchmark(lambda: step_best_of_k_batch(g, batch, 3, rng, out=out))
+
+
+def test_engine_count_chain_round(benchmark):
+    """One count-chain round for 10^4 replicas on K_{10^6}."""
+    from repro.core.ensemble import count_chain_step
+
+    n = 10**6
+    rng = np.random.default_rng(1)
+    B = rng.integers(1, n, size=10**4)
+    benchmark(lambda: count_chain_step(B, n, 3, rng))
+
+
+def test_engine_full_ensemble_auto(benchmark):
+    """A 100-replica K_{2^14} consensus ensemble through the auto route."""
+    g = CompleteGraph(2**14)
+    benchmark(
+        lambda: run_ensemble(
+            g, replicas=100, delta=0.1, seed=2, record_trajectories=False
+        )
+    )
+
+
+def _print(title, stats):
+    print(f"\n## {title}")
+    for key, val in stats.items():
+        print(f"  {key:32s} {val}")
+
+
+if __name__ == "__main__":
+    report = full_report()
+    for name, stats in report.items():
+        _print(name, stats)
+    kn = report["batched_vs_loop_Kn_2e16"]
+    t1 = report["count_chain_theorem1_1e7"]
+    print(
+        f"\nacceptance: engine-vs-loop speedup at K_n n=2^16, R=100: "
+        f"{kn['engine_auto_speedup_vs_loop']:.1f}x "
+        f"(criterion: >= 10x); Theorem 1 at n=10^7: {t1['seconds']:.2f}s "
+        "(criterion: seconds)"
+    )

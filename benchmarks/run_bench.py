@@ -1,0 +1,75 @@
+"""Throughput-benchmark runner: smoke mode + ``BENCH_*.json`` snapshots.
+
+CI / tooling entry point for the perf trajectory::
+
+    PYTHONPATH=src python benchmarks/run_bench.py            # smoke sizes
+    PYTHONPATH=src python benchmarks/run_bench.py --full     # acceptance sizes
+    PYTHONPATH=src python benchmarks/run_bench.py --out-dir .
+
+Each run writes ``BENCH_ensemble_throughput.json`` (overwriting the
+previous snapshot) with the measured replicas/sec for the engine
+ablations plus environment metadata, so successive commits can be
+compared with plain ``git diff``/``jq``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="acceptance sizes (n=2^16 / n=10^7) instead of smoke sizes",
+    )
+    parser.add_argument(
+        "--out-dir",
+        default=str(REPO),
+        help="directory for the BENCH_*.json snapshot (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)  # fail here, not post-run
+
+    import numpy as np
+
+    from repro._version import __version__
+
+    import bench_ensemble_throughput as bench
+
+    started = time.time()
+    results = bench.full_report() if args.full else bench.smoke_report()
+    snapshot = {
+        "benchmark": "ensemble_throughput",
+        "mode": "full" if args.full else "smoke",
+        "repro_version": __version__,
+        "numpy_version": np.__version__,
+        "python_version": platform.python_version(),
+        "machine": platform.machine(),
+        "unix_time": int(started),
+        "wall_seconds": round(time.time() - started, 3),
+        "results": results,
+    }
+    out_path = out_dir / "BENCH_ensemble_throughput.json"
+    out_path.write_text(json.dumps(snapshot, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out_path}")
+    for name, stats in results.items():
+        keys = [k for k in stats if "speedup" in k or k == "seconds"]
+        line = ", ".join(f"{k}={stats[k]:.2f}" for k in keys)
+        print(f"  {name}: {line}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

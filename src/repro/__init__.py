@@ -22,7 +22,9 @@ from repro.core import (
     BLUE,
     RED,
     BestOfKDynamics,
+    EnsembleResult,
     RunResult,
+    run_ensemble,
     SprinkledDAG,
     Theorem1Certificate,
     TieRule,
@@ -74,6 +76,8 @@ __all__ = [
     "BestOfKDynamics",
     "best_of_three",
     "step_best_of_k",
+    "EnsembleResult",
+    "run_ensemble",
     # analysis objects
     "VotingDAG",
     "SprinkledDAG",

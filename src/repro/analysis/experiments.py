@@ -4,6 +4,14 @@ A *trial* = fresh initial opinions + fresh dynamics randomness, both from
 spawned independent streams.  The ensemble summary carries everything the
 experiment harness reports: win counts with Wilson intervals, consensus-
 time statistics, and the full per-trial arrays for downstream fitting.
+
+Since the batched-engine rewire (DESIGN.md §2.3) the trials are *not* run
+one at a time: they go through :func:`repro.core.ensemble.run_ensemble`,
+which advances all live replicas per round (and collapses complete-graph
+hosts to the exact O(1)-per-round count chain).  The summary statistics
+are distributionally identical to the old per-trial loop; only the stream
+consumption pattern differs, so per-seed values changed once at the
+rewire.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.dynamics import BestOfKDynamics
+from repro.core.ensemble import run_ensemble
 from repro.core.opinions import BLUE, RED, random_opinions
 from repro.graphs.base import Graph
 from repro.util.rng import SeedLike, spawn_generators
@@ -111,19 +120,46 @@ def run_consensus_ensemble(
         Bias for the default initializer.
     """
     trials = check_positive_int(trials, "trials")
-    if initializer is None:
-        if delta is None:
-            raise ValueError("provide either initializer or delta")
-        bias = float(delta)
-
-        def initializer(n: int, rng: np.random.Generator) -> np.ndarray:
-            return random_opinions(n, bias, rng=rng)
+    if initializer is None and delta is None:
+        raise ValueError("provide either initializer or delta")
 
     if dynamics_factory is None:
         def dynamics_factory(g: Graph) -> BestOfKDynamics:
             return BestOfKDynamics(g, k=3)
 
     dyn = dynamics_factory(graph)
+    if type(dyn) is BestOfKDynamics:
+        # Batched fast path: one engine call simulates every trial (and
+        # CompleteGraph hosts collapse to the exact count chain).  Exact
+        # type check, not isinstance: a subclass may override run()/step()
+        # with different dynamics, which the engine would silently ignore.
+        ens = run_ensemble(
+            dyn.graph,
+            replicas=trials,
+            k=dyn.k,
+            tie_rule=dyn.tie_rule,
+            seed=seed,
+            max_steps=max_steps,
+            delta=delta if initializer is None else None,
+            initializer=initializer,
+            record_trajectories=False,
+        )
+        conv = ens.converged
+        return ConsensusEnsemble(
+            trials=trials,
+            steps=ens.steps[conv],
+            winners=ens.winners[conv],
+            unconverged=ens.unconverged,
+        )
+
+    # Generic fallback for exotic dynamics objects that merely quack like
+    # BestOfKDynamics (custom .run): the original sequential loop.
+    if initializer is None:
+        bias = float(delta)
+
+        def initializer(n: int, rng: np.random.Generator) -> np.ndarray:
+            return random_opinions(n, bias, rng=rng)
+
     n = graph.num_vertices
     gens = spawn_generators(seed, 2 * trials)
     steps: list[int] = []

@@ -15,10 +15,9 @@ from typing import Callable
 
 import numpy as np
 
-from repro.core.dynamics import BestOfKDynamics
-from repro.core.opinions import random_opinions
+from repro.core.ensemble import run_ensemble
 from repro.graphs.base import Graph
-from repro.util.rng import SeedLike, spawn_generators
+from repro.util.rng import SeedLike
 from repro.util.validation import check_positive_int
 
 __all__ = ["TrajectoryBundle", "collect_trajectories", "hitting_times"]
@@ -93,30 +92,22 @@ def collect_trajectories(
     """
     trials = check_positive_int(trials, "trials")
     horizon = check_positive_int(horizon, "horizon")
-    if initializer is None:
-        if delta is None:
-            raise ValueError("provide either initializer or delta")
-        bias = float(delta)
-
-        def initializer(n: int, rng: np.random.Generator) -> np.ndarray:
-            return random_opinions(n, bias, rng=rng)
-
-    n = graph.num_vertices
-    dyn = BestOfKDynamics(graph, k=k)
-    gens = spawn_generators(seed, 2 * trials)
-    rows = np.empty((trials, horizon + 1), dtype=np.float64)
-    for i in range(trials):
-        result = dyn.run(
-            initializer(n, gens[2 * i]),
-            seed=gens[2 * i + 1],
-            max_steps=horizon,
-            keep_final=False,
-        )
-        traj = result.blue_trajectory / n
-        rows[i, : traj.size] = traj
-        if traj.size <= horizon:
-            rows[i, traj.size :] = traj[-1]
-    return TrajectoryBundle(fractions=rows)
+    if initializer is None and delta is None:
+        raise ValueError("provide either initializer or delta")
+    # All trials advance together through the batched engine; on K_n the
+    # count-chain path records the exact blue-count trajectories without
+    # touching per-vertex state.
+    ens = run_ensemble(
+        graph,
+        replicas=trials,
+        k=k,
+        seed=seed,
+        max_steps=horizon,
+        delta=delta if initializer is None else None,
+        initializer=initializer,
+        record_trajectories=True,
+    )
+    return TrajectoryBundle(fractions=ens.fraction_matrix(horizon))
 
 
 def hitting_times(bundle: TrajectoryBundle, threshold: float) -> np.ndarray:

@@ -25,6 +25,13 @@ from repro.core.dynamics import (
     best_of_three,
     step_best_of_k,
 )
+from repro.core.ensemble import (
+    EnsembleResult,
+    count_chain_step,
+    majority_win_probability,
+    run_ensemble,
+    step_best_of_k_batch,
+)
 from repro.core.meanfield import (
     best_of_k_hitting_time,
     best_of_k_map,
@@ -79,6 +86,11 @@ __all__ = [
     "BestOfKDynamics",
     "best_of_three",
     "step_best_of_k",
+    "EnsembleResult",
+    "run_ensemble",
+    "step_best_of_k_batch",
+    "count_chain_step",
+    "majority_win_probability",
     "best_of_k_map",
     "best_of_k_trajectory",
     "best_of_k_hitting_time",

@@ -93,8 +93,9 @@ def step_best_of_k(
         out = np.empty(n, dtype=OPINION_DTYPE)
     elif out is opinions:
         raise ValueError("out must not alias opinions (synchronous update)")
-    vertices = np.arange(n, dtype=np.int64)
-    samples = graph.sample_neighbors(vertices, k, rng)
+    # Cached per-graph id array: the hot loop must not allocate O(n) ids
+    # every round (hoisted per the DESIGN.md §2.3 engine notes).
+    samples = graph.sample_neighbors(graph.vertex_ids, k, rng)
     blue_votes = opinions[samples].sum(axis=1, dtype=np.int64)
     if k % 2 == 1:
         out[:] = (blue_votes * 2 > k).astype(OPINION_DTYPE)
@@ -132,6 +133,9 @@ class RunResult:
     final_opinions:
         The terminal opinion vector (present unless recording was
         disabled).
+    n:
+        Number of vertices of the host graph (recorded even when
+        ``keep_final=False`` so fractions stay computable).
     """
 
     converged: bool
@@ -139,6 +143,7 @@ class RunResult:
     steps: int
     blue_trajectory: np.ndarray
     final_opinions: np.ndarray | None = field(default=None, repr=False)
+    n: int | None = None
 
     @property
     def red_wins(self) -> bool:
@@ -148,14 +153,14 @@ class RunResult:
     @property
     def blue_fractions(self) -> np.ndarray:
         """Blue fraction per round (trajectory / n)."""
-        if self.final_opinions is not None:
+        if self.n is not None:
+            n = self.n
+        elif self.final_opinions is not None:
             n = self.final_opinions.size
         else:
-            # Fall back: first trajectory entry of an all-one-colour start
-            # may be 0, so infer n from the max only as a last resort.
             raise ValueError(
-                "blue_fractions requires final_opinions to recover n; "
-                "construct the run with keep_final=True"
+                "blue_fractions needs the vertex count; this RunResult "
+                "carries neither n nor final_opinions"
             )
         return self.blue_trajectory / n
 
@@ -232,6 +237,7 @@ class BestOfKDynamics:
             steps=steps,
             blue_trajectory=np.asarray(trajectory, dtype=np.int64),
             final_opinions=current if keep_final else None,
+            n=n,
         )
 
     def step(

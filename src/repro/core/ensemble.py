@@ -1,0 +1,634 @@
+"""Batched ensemble engine: ``R`` replicas per round, not ``R`` run loops.
+
+Every ensemble consumer in the library (the experiment harness, Theorem 1
+verification, trajectory bundles, the baselines) used to drive Monte-Carlo
+replicas through a per-trial Python loop around
+:meth:`repro.core.dynamics.BestOfKDynamics.run`.  This module replaces
+that with a single engine that advances all live replicas together
+(DESIGN.md §2.3):
+
+* **Batched dense path** — the ensemble state is one ``(R, n)`` ``uint8``
+  matrix; one round is one batched neighbour draw
+  (:meth:`repro.graphs.Graph.sample_neighbors_batch`), one gather, and one
+  row reduction for *all* live replicas.  Absorbed replicas are compacted
+  out of the matrix so finished runs stop costing work, and the sample
+  tensor is chunked along the replica axis (with an ``int32`` index path
+  for ``n < 2**31``) to bound peak memory at large ``n·k·R``.
+* **Exact count-chain fast path** — on :class:`~repro.graphs.CompleteGraph`
+  the configuration beyond the blue count ``B`` is irrelevant: conditioned
+  on ``B``, every vertex in a colour class updates independently with the
+  same Bernoulli law, so one round of ``R`` replicas is four vectorised
+  binomial operations (``B' = Bin(B, q_blue) + Bin(n−B, q_red)``) — O(1)
+  work per replica per round instead of O(n·k) memory traffic.  The chain
+  is *exactly* distributed like the dense simulation's blue-count chain
+  (not an approximation), which makes ``n = 10⁸``-scale Theorem 1 sweeps
+  feasible.
+
+Randomness: the engine consumes one generator for the whole batch, so
+results are deterministic given a seed but not bitwise-identical to the
+old sequential loop; equivalence is distributional (covered by
+``tests/test_core_ensemble.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import comb
+from typing import Callable, Literal
+
+import numpy as np
+
+from repro.core.dynamics import TieRule
+from repro.core.opinions import (
+    BLUE,
+    OPINION_DTYPE,
+    RED,
+    exact_count_opinions,
+    random_opinions,
+)
+from repro.graphs.base import Graph
+from repro.graphs.implicit import CompleteGraph
+from repro.util.rng import SeedLike, as_generator, spawn_generators
+from repro.util.validation import check_in_range, check_positive_int
+
+__all__ = [
+    "DEFAULT_BATCH_BYTES",
+    "EnsembleResult",
+    "majority_win_probability",
+    "count_chain_step",
+    "step_best_of_k_batch",
+    "run_ensemble",
+]
+
+DEFAULT_BATCH_BYTES = 2 * 2**20
+"""Default cap on the per-round sample-tensor footprint (bytes).
+
+The dense path chunks the replica axis so that one chunk's scratch
+(uniform draws + neighbour ids + gathered opinions, ~13 bytes per sample)
+stays under this.  Two jobs at once: it bounds peak memory at large
+``n·k·R``, and — measured, not theoretical — it keeps each chunk's
+multi-pass kernels (draw, shift, gather, reduce) cache-resident instead
+of streaming 100s of MB through DRAM per pass: a 64 MB cap is ~30× slower
+than this one on a ``(100, 2¹⁴)`` rook round.  At small ``n`` the cap is
+far above ``n·k·R`` and whole ensembles advance in one fully-vectorised
+chunk, which is where batching beats the per-trial loop outright (the
+per-call overhead regime).
+"""
+
+_BYTES_PER_SAMPLE = 13  # float64 draw (8) + int32 id (4) + uint8 gather (1)
+
+EnsembleMethod = Literal["auto", "batched", "count_chain"]
+
+
+# ----------------------------------------------------------------------
+# Result type
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class EnsembleResult:
+    """Outcome of a batched ensemble run.
+
+    Attributes
+    ----------
+    n:
+        Number of vertices of the host graph.
+    replicas:
+        Number of replicas ``R`` simulated.
+    steps:
+        ``(R,)`` rounds executed per replica (the consensus time where
+        ``converged``; the round budget otherwise).
+    winners:
+        ``(R,)`` winner codes (``RED``/``BLUE``); ``-1`` for replicas that
+        did not absorb within the budget.
+    converged:
+        ``(R,)`` boolean absorption mask.
+    method:
+        Engine path used (``"batched"`` or ``"count_chain"``).
+    blue_trajectories:
+        Per-replica blue-count trajectories ``[B_0, …, B_steps]`` (ragged
+        list, present when recording was requested).
+    final_opinions:
+        ``(R, n)`` terminal opinion matrix (dense path with
+        ``keep_final=True`` only).
+    """
+
+    n: int
+    replicas: int
+    steps: np.ndarray
+    winners: np.ndarray
+    converged: np.ndarray
+    method: str
+    blue_trajectories: list[np.ndarray] | None = field(default=None, repr=False)
+    final_opinions: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def converged_count(self) -> int:
+        return int(np.count_nonzero(self.converged))
+
+    @property
+    def unconverged(self) -> int:
+        return self.replicas - self.converged_count
+
+    @property
+    def red_wins(self) -> int:
+        return int(np.count_nonzero(self.winners == RED))
+
+    @property
+    def blue_wins(self) -> int:
+        return int(np.count_nonzero(self.winners == BLUE))
+
+    @property
+    def converged_steps(self) -> np.ndarray:
+        """Consensus times of the converged replicas only."""
+        return self.steps[self.converged]
+
+    def fraction_matrix(self, horizon: int) -> np.ndarray:
+        """Aligned ``(R, horizon + 1)`` blue-*fraction* matrix.
+
+        Absorbed replicas are padded with their terminal value; replicas
+        that ran past *horizon* are truncated there.  Requires recorded
+        trajectories.
+        """
+        if self.blue_trajectories is None:
+            raise ValueError(
+                "fraction_matrix requires the run to record trajectories "
+                "(record_trajectories=True)"
+            )
+        horizon = check_positive_int(horizon, "horizon")
+        out = np.empty((self.replicas, horizon + 1), dtype=np.float64)
+        for i, traj in enumerate(self.blue_trajectories):
+            frac = traj[: horizon + 1] / self.n
+            out[i, : frac.size] = frac
+            if frac.size <= horizon:
+                out[i, frac.size :] = frac[-1]
+        return out
+
+
+# ----------------------------------------------------------------------
+# Count-chain fast path (exact on K_n)
+# ----------------------------------------------------------------------
+
+
+def majority_win_probability(
+    p: np.ndarray | float,
+    k: int,
+    *,
+    tie_rule: TieRule = TieRule.KEEP_SELF,
+    own: int | None = None,
+) -> np.ndarray:
+    """P(a vertex turns blue | each of its ``k`` draws is blue w.p. ``p``).
+
+    The Best-of-k update seen from one vertex: the blue-vote count is
+    ``V ~ Bin(k, p)`` and the vertex adopts blue iff ``2V > k``, plus the
+    tie contribution at ``2V = k`` for even ``k`` (``own`` — the vertex's
+    current colour — decides ties under ``KEEP_SELF``).  Vectorised over
+    ``p``; exact for any ``k`` via the binomial mass sum (``k`` is tiny in
+    every protocol, so the loop over vote counts is O(k) scalar work).
+    """
+    k = check_positive_int(k, "k")
+    p_arr = np.clip(np.asarray(p, dtype=np.float64), 0.0, 1.0)
+    q_arr = 1.0 - p_arr
+    total = np.zeros_like(p_arr)
+    for j in range(k // 2 + 1, k + 1):
+        total += comb(k, j) * p_arr**j * q_arr ** (k - j)
+    if k % 2 == 0:
+        tie = comb(k, k // 2) * p_arr ** (k // 2) * q_arr ** (k // 2)
+        if tie_rule is TieRule.RANDOM:
+            total += 0.5 * tie
+        elif tie_rule is TieRule.KEEP_SELF:
+            if own is None:
+                raise ValueError(
+                    "even k with KEEP_SELF ties needs the vertex's own "
+                    "colour (own=RED or own=BLUE)"
+                )
+            if own == BLUE:
+                total += tie
+        else:  # pragma: no cover - exhaustiveness guard
+            raise ValueError(f"unknown tie rule {tie_rule!r}")
+    return total
+
+
+def count_chain_step(
+    blue_counts: np.ndarray,
+    n: int,
+    k: int,
+    rng: np.random.Generator,
+    *,
+    tie_rule: TieRule = TieRule.KEEP_SELF,
+) -> np.ndarray:
+    """One exact Best-of-k round of the ``K_n`` blue-count chain.
+
+    Conditioned on the current count ``B``, every blue vertex samples blue
+    with probability ``(B−1)/(n−1)`` and every red vertex with ``B/(n−1)``
+    (with-replacement draws from the other ``n−1`` vertices), and all
+    vertices update independently — so the next count is exactly
+
+        ``B' = Bin(B, q_blue) + Bin(n−B, q_red)``
+
+    with ``q`` the majority probabilities of
+    :func:`majority_win_probability`.  Vectorised over a replica axis:
+    *blue_counts* is ``(R,)`` and one call advances every replica.
+    """
+    B = np.asarray(blue_counts, dtype=np.int64)
+    p_blue = (B - 1) / (n - 1)
+    p_red = B / (n - 1)
+    q_blue = majority_win_probability(p_blue, k, tie_rule=tie_rule, own=BLUE)
+    q_red = majority_win_probability(p_red, k, tie_rule=tie_rule, own=RED)
+    return rng.binomial(B, q_blue) + rng.binomial(n - B, q_red)
+
+
+# ----------------------------------------------------------------------
+# Batched dense round
+# ----------------------------------------------------------------------
+
+
+def step_best_of_k_batch(
+    graph: Graph,
+    opinions: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    *,
+    tie_rule: TieRule = TieRule.KEEP_SELF,
+    out: np.ndarray | None = None,
+    max_batch_bytes: int = DEFAULT_BATCH_BYTES,
+) -> np.ndarray:
+    """One synchronous Best-of-k round for a whole ``(R, n)`` batch.
+
+    Row ``r`` of *opinions* is one replica's opinion vector; rows advance
+    independently (each gets its own neighbour draws) but in one set of
+    vectorised kernels.  The sample tensor is processed in replica chunks
+    sized so the per-chunk scratch stays under *max_batch_bytes*.
+    """
+    n = graph.num_vertices
+    if opinions.ndim != 2 or opinions.shape[1] != n:
+        raise ValueError(
+            f"opinions must have shape (R, {n}), got {opinions.shape}"
+        )
+    k = check_positive_int(k, "k")
+    replicas = opinions.shape[0]
+    if out is None:
+        out = np.empty_like(opinions)
+    elif out is opinions:
+        raise ValueError("out must not alias opinions (synchronous update)")
+    elif out.shape != opinions.shape:
+        raise ValueError(
+            f"out shape {out.shape} does not match opinions {opinions.shape}"
+        )
+    vertices = graph.vertex_ids
+    vote_dtype = np.uint8 if k < 256 else np.int64
+    half = k // 2  # votes > half <=> strict blue majority, for any parity
+    chunk = max(1, int(max_batch_bytes) // max(n * k * _BYTES_PER_SAMPLE, 1))
+    for lo in range(0, replicas, chunk):
+        hi = min(lo + chunk, replicas)
+        rows = hi - lo
+        samples = graph.sample_neighbors_batch(vertices, k, rng, rows)
+        gathered = opinions[lo:hi][np.arange(rows)[:, None, None], samples]
+        votes = gathered.sum(axis=2, dtype=vote_dtype)
+        out[lo:hi] = votes > half
+        if k % 2 == 0:
+            tied = votes == half
+            if tie_rule is TieRule.KEEP_SELF:
+                out[lo:hi][tied] = opinions[lo:hi][tied]
+            elif tie_rule is TieRule.RANDOM:
+                n_tied = int(np.count_nonzero(tied))
+                if n_tied:
+                    out[lo:hi][tied] = (rng.random(n_tied) < 0.5).astype(
+                        OPINION_DTYPE
+                    )
+            else:  # pragma: no cover - exhaustiveness guard
+                raise ValueError(f"unknown tie rule {tie_rule!r}")
+    return out
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+
+
+def run_ensemble(
+    graph: Graph,
+    *,
+    replicas: int,
+    k: int = 3,
+    tie_rule: TieRule = TieRule.KEEP_SELF,
+    seed: SeedLike = None,
+    max_steps: int = 10_000,
+    delta: float | None = None,
+    initializer: Callable[[int, np.random.Generator], np.ndarray] | None = None,
+    initial_opinions: np.ndarray | None = None,
+    initial_blue_counts: np.ndarray | int | None = None,
+    record_trajectories: bool = True,
+    keep_final: bool = False,
+    method: EnsembleMethod = "auto",
+    max_batch_bytes: int = DEFAULT_BATCH_BYTES,
+) -> EnsembleResult:
+    """Run *replicas* independent Best-of-k runs as one batched simulation.
+
+    Exactly one initial-condition source must be given:
+
+    * ``delta`` — the paper's i.i.d. configuration (blue w.p. ``1/2 − δ``),
+      drawn per replica from independent spawned streams;
+    * ``initializer`` — ``(n, rng) -> opinions``, called once per replica
+      with its own spawned stream;
+    * ``initial_opinions`` — an explicit ``(R, n)`` (or broadcastable
+      ``(n,)``) opinion matrix;
+    * ``initial_blue_counts`` — exact initial counts (scalar or ``(R,)``);
+      uniform placement on the dense path, count-only on the chain path.
+
+    ``method="auto"`` routes :class:`~repro.graphs.CompleteGraph` hosts to
+    the exact count-chain unless per-vertex output (``keep_final``) is
+    requested; every other host uses the batched dense path.  On ``K_n``
+    the routing is lossless for counts, consensus times, and winners: the
+    update law conditioned on the configuration depends only on the blue
+    count, whatever the placement.
+    """
+    replicas = check_positive_int(replicas, "replicas")
+    k = check_positive_int(k, "k")
+    max_steps = check_positive_int(max_steps, "max_steps")
+    n = graph.num_vertices
+    given = [
+        name
+        for name, val in (
+            ("delta", delta),
+            ("initializer", initializer),
+            ("initial_opinions", initial_opinions),
+            ("initial_blue_counts", initial_blue_counts),
+        )
+        if val is not None
+    ]
+    if len(given) != 1:
+        raise ValueError(
+            "provide exactly one of delta, initializer, initial_opinions, "
+            f"initial_blue_counts (got {given or 'none'})"
+        )
+    if delta is not None:
+        delta = check_in_range(delta, "delta", 0.0, 0.5)
+
+    init_ss, dyn_ss = spawn_generators(seed, 2)
+    rng = as_generator(dyn_ss)
+
+    if method == "auto":
+        method = (
+            "count_chain"
+            if isinstance(graph, CompleteGraph) and not keep_final
+            else "batched"
+        )
+    if method == "count_chain":
+        if not isinstance(graph, CompleteGraph):
+            raise ValueError(
+                "the count-chain fast path is exact only on CompleteGraph; "
+                f"got {type(graph).__name__} (use method='batched')"
+            )
+        if keep_final:
+            raise ValueError(
+                "the count-chain path tracks counts only; keep_final "
+                "requires method='batched'"
+            )
+        counts0 = _initial_counts(
+            n, replicas, init_ss, delta, initializer, initial_opinions,
+            initial_blue_counts,
+        )
+        return _run_count_chain(
+            n, k, tie_rule, counts0, rng, max_steps, record_trajectories
+        )
+    if method != "batched":
+        raise ValueError(
+            f"unknown method {method!r}; expected 'auto', 'batched', or "
+            "'count_chain'"
+        )
+    init_matrix = _initial_matrix(
+        n, replicas, init_ss, delta, initializer, initial_opinions,
+        initial_blue_counts,
+    )
+    return _run_batched(
+        graph, k, tie_rule, init_matrix, rng, max_steps,
+        record_trajectories, keep_final, max_batch_bytes,
+    )
+
+
+def _initial_matrix(
+    n: int,
+    replicas: int,
+    init_ss,
+    delta,
+    initializer,
+    initial_opinions,
+    initial_blue_counts,
+) -> np.ndarray:
+    """Materialise the ``(R, n)`` initial opinion matrix."""
+    if initial_opinions is not None:
+        mat = np.asarray(initial_opinions, dtype=OPINION_DTYPE)
+        if mat.ndim == 1:
+            mat = np.broadcast_to(mat, (replicas, n))
+        if mat.shape != (replicas, n):
+            raise ValueError(
+                f"initial_opinions must have shape ({replicas}, {n}) or "
+                f"({n},), got {np.asarray(initial_opinions).shape}"
+            )
+        return np.array(mat, dtype=OPINION_DTYPE, copy=True)
+    gens = spawn_generators(init_ss, replicas)
+    mat = np.empty((replicas, n), dtype=OPINION_DTYPE)
+    if delta is not None:
+        for i, gen in enumerate(gens):
+            mat[i] = random_opinions(n, delta, rng=gen)
+    elif initializer is not None:
+        for i, gen in enumerate(gens):
+            row = np.asarray(initializer(n, gen))
+            if row.shape != (n,):
+                raise ValueError(
+                    f"initializer returned shape {row.shape}, expected ({n},)"
+                )
+            mat[i] = row.astype(OPINION_DTYPE, copy=False)
+    else:
+        counts = np.broadcast_to(
+            np.asarray(initial_blue_counts, dtype=np.int64), (replicas,)
+        )
+        for i, gen in enumerate(gens):
+            mat[i] = exact_count_opinions(n, int(counts[i]), rng=gen)
+    return mat
+
+
+def _initial_counts(
+    n: int,
+    replicas: int,
+    init_ss,
+    delta,
+    initializer,
+    initial_opinions,
+    initial_blue_counts,
+) -> np.ndarray:
+    """Initial blue counts ``(R,)`` without materialising opinions when
+    possible (the whole point of the chain path at large ``n``)."""
+    if initial_blue_counts is not None:
+        counts = np.broadcast_to(
+            np.asarray(initial_blue_counts, dtype=np.int64), (replicas,)
+        ).copy()
+        if counts.min() < 0 or counts.max() > n:
+            raise ValueError(
+                f"initial blue counts must lie in [0, {n}], got range "
+                f"[{counts.min()}, {counts.max()}]"
+            )
+        return counts
+    if initial_opinions is not None:
+        mat = np.asarray(initial_opinions)
+        if mat.ndim == 1:
+            if mat.shape != (n,):
+                raise ValueError(
+                    f"initial_opinions must have shape ({replicas}, {n}) or "
+                    f"({n},), got {mat.shape}"
+                )
+            return np.full(
+                replicas, int(np.count_nonzero(mat)), dtype=np.int64
+            )
+        if mat.shape != (replicas, n):
+            raise ValueError(
+                f"initial_opinions must have shape ({replicas}, {n}) or "
+                f"({n},), got {mat.shape}"
+            )
+        return np.count_nonzero(mat, axis=1).astype(np.int64)
+    gens = spawn_generators(init_ss, replicas)
+    if delta is not None:
+        # B_0 ~ Bin(n, 1/2 − δ): the exact count law of random_opinions,
+        # drawn directly so n = 10^8 replicas never allocate O(n) memory.
+        return np.array(
+            [gen.binomial(n, 0.5 - delta) for gen in gens], dtype=np.int64
+        )
+    counts = np.empty(replicas, dtype=np.int64)
+    for i, gen in enumerate(gens):
+        row = np.asarray(initializer(n, gen))
+        if row.shape != (n,):
+            raise ValueError(
+                f"initializer returned shape {row.shape}, expected ({n},)"
+            )
+        counts[i] = int(np.count_nonzero(row))
+    return counts
+
+
+def _run_count_chain(
+    n: int,
+    k: int,
+    tie_rule: TieRule,
+    counts0: np.ndarray,
+    rng: np.random.Generator,
+    max_steps: int,
+    record_trajectories: bool,
+) -> EnsembleResult:
+    replicas = counts0.size
+    steps = np.zeros(replicas, dtype=np.int64)
+    winners = np.full(replicas, -1, dtype=np.int64)
+    converged = np.zeros(replicas, dtype=bool)
+    traj: list[list[int]] | None = (
+        [[int(c)] for c in counts0] if record_trajectories else None
+    )
+    absorbed = (counts0 == 0) | (counts0 == n)
+    converged[absorbed] = True
+    winners[absorbed] = np.where(counts0[absorbed] == n, BLUE, RED)
+    live = np.nonzero(~absorbed)[0]
+    counts = counts0[live]
+    t = 0
+    while live.size and t < max_steps:
+        counts = count_chain_step(counts, n, k, rng, tie_rule=tie_rule)
+        t += 1
+        if traj is not None:
+            for idx, c in zip(live, counts):
+                traj[idx].append(int(c))
+        done = (counts == 0) | (counts == n)
+        if done.any():
+            hit = live[done]
+            converged[hit] = True
+            steps[hit] = t
+            winners[hit] = np.where(counts[done] == n, BLUE, RED)
+            live = live[~done]
+            counts = counts[~done]
+    if live.size:
+        steps[live] = t
+    return EnsembleResult(
+        n=n,
+        replicas=replicas,
+        steps=steps,
+        winners=winners,
+        converged=converged,
+        method="count_chain",
+        blue_trajectories=(
+            [np.asarray(rows, dtype=np.int64) for rows in traj]
+            if traj is not None
+            else None
+        ),
+    )
+
+
+def _run_batched(
+    graph: Graph,
+    k: int,
+    tie_rule: TieRule,
+    init_matrix: np.ndarray,
+    rng: np.random.Generator,
+    max_steps: int,
+    record_trajectories: bool,
+    keep_final: bool,
+    max_batch_bytes: int,
+) -> EnsembleResult:
+    n = graph.num_vertices
+    replicas = init_matrix.shape[0]
+    steps = np.zeros(replicas, dtype=np.int64)
+    winners = np.full(replicas, -1, dtype=np.int64)
+    converged = np.zeros(replicas, dtype=bool)
+    final = (
+        np.empty((replicas, n), dtype=OPINION_DTYPE) if keep_final else None
+    )
+    counts0 = np.count_nonzero(init_matrix, axis=1).astype(np.int64)
+    traj: list[list[int]] | None = (
+        [[int(c)] for c in counts0] if record_trajectories else None
+    )
+    absorbed = (counts0 == 0) | (counts0 == n)
+    converged[absorbed] = True
+    winners[absorbed] = np.where(counts0[absorbed] == n, BLUE, RED)
+    if final is not None:
+        final[absorbed] = init_matrix[absorbed]
+    live = np.nonzero(~absorbed)[0]
+    ops = init_matrix[live].copy()
+    buffer = np.empty_like(ops)
+    t = 0
+    while live.size and t < max_steps:
+        step_best_of_k_batch(
+            graph, ops, k, rng, tie_rule=tie_rule, out=buffer,
+            max_batch_bytes=max_batch_bytes,
+        )
+        ops, buffer = buffer, ops
+        t += 1
+        counts = np.count_nonzero(ops, axis=1).astype(np.int64)
+        if traj is not None:
+            for idx, c in zip(live, counts):
+                traj[idx].append(int(c))
+        done = (counts == 0) | (counts == n)
+        if done.any():
+            hit = live[done]
+            converged[hit] = True
+            steps[hit] = t
+            winners[hit] = np.where(counts[done] == n, BLUE, RED)
+            if final is not None:
+                final[hit] = ops[done]
+            # Compact: absorbed replicas stop costing sampling work.
+            keep = ~done
+            live = live[keep]
+            ops = ops[keep]
+            buffer = buffer[: ops.shape[0]]
+    if live.size:
+        steps[live] = t
+        if final is not None:
+            final[live] = ops
+    return EnsembleResult(
+        n=n,
+        replicas=replicas,
+        steps=steps,
+        winners=winners,
+        converged=converged,
+        method="batched",
+        blue_trajectories=(
+            [np.asarray(rows, dtype=np.int64) for rows in traj]
+            if traj is not None
+            else None
+        ),
+        final_opinions=final,
+    )

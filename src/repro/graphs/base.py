@@ -69,6 +69,85 @@ class Graph(abc.ABC):
         """
 
     # ------------------------------------------------------------------
+    # Batched sampling (the ensemble engine's hot path)
+    # ------------------------------------------------------------------
+
+    def sample_neighbors_batch(
+        self,
+        vertices: np.ndarray,
+        k: int,
+        rng: np.random.Generator,
+        replicas: int,
+    ) -> np.ndarray:
+        """Sample ``k`` neighbours per vertex for *replicas* independent runs.
+
+        Semantically equivalent to stacking *replicas* independent calls to
+        :meth:`sample_neighbors`, but issued as one vectorised draw so a
+        whole ensemble round costs a constant number of NumPy kernels.
+
+        Parameters
+        ----------
+        vertices:
+            1-D integer array of vertex ids (shared by all replicas).
+        k:
+            Draws per vertex.
+        rng:
+            Source of randomness (one stream serves the whole batch).
+        replicas:
+            Number of independent replicas ``R``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Integer array of shape ``(replicas, len(vertices), k)``; slice
+            ``[r]`` is distributed exactly like ``sample_neighbors(vertices,
+            k, rng)``.  The dtype may be ``int32`` when vertex ids fit (the
+            engine's reduced-memory-traffic index path).
+
+        Notes
+        -----
+        The default implementation tiles the vertex array and reshapes —
+        correct for every host because rows of :meth:`sample_neighbors` are
+        i.i.d.  Hosts with a cheaper closed form (``K_n``, CSR) override it
+        to avoid the tiled id array and to emit ``int32`` indices.
+        """
+        replicas = int(replicas)
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        vertices = self._check_vertices(vertices)
+        flat = np.tile(vertices, replicas)
+        return self.sample_neighbors(flat, k, rng).reshape(
+            replicas, vertices.size, k
+        )
+
+    @property
+    def vertex_ids(self) -> np.ndarray:
+        """Cached ``arange(n)`` vertex-id array (do not mutate).
+
+        The per-round dynamics previously allocated a fresh ``np.arange(n)``
+        every step; hot loops should use this shared array instead.
+        """
+        ids = getattr(self, "_vertex_ids_cache", None)
+        if ids is None or ids.size != self.num_vertices:
+            ids = np.arange(self.num_vertices, dtype=np.int64)
+            ids.setflags(write=False)
+            self._vertex_ids_cache = ids
+        return ids
+
+    @property
+    def index_dtype(self) -> type:
+        """Narrowest integer dtype that can hold every vertex id.
+
+        ``int32`` for ``n < 2**31`` halves gather/index memory traffic in
+        the batched engine; ``int64`` otherwise.
+        """
+        return (
+            np.int32
+            if self.num_vertices < np.iinfo(np.int32).max
+            else np.int64
+        )
+
+    # ------------------------------------------------------------------
     # Derived quantities shared by all hosts
     # ------------------------------------------------------------------
 

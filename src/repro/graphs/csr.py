@@ -177,6 +177,34 @@ class CSRGraph(Graph):
         offsets = (rng.random((vertices.size, k)) * deg[:, None]).astype(np.int64)
         return self._indices[starts[:, None] + offsets].astype(np.int64, copy=False)
 
+    def sample_neighbors_batch(
+        self,
+        vertices: np.ndarray,
+        k: int,
+        rng: np.random.Generator,
+        replicas: int,
+    ) -> np.ndarray:
+        """Batched CSR sampling: one uniform draw serves all replicas.
+
+        The flat position ``indptr[v] + floor(U * deg(v))`` is formed with
+        the CSR storage dtype (``int32`` when the arc count permits), so the
+        batch gather moves half the bytes of the ``int64`` path.
+        """
+        replicas = int(replicas)
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        vertices = self._check_vertices(vertices)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        pos_dtype = self._indices.dtype
+        deg = self._degrees[vertices].astype(np.float64)
+        starts = self._indptr[vertices].astype(pos_dtype)
+        offsets = (
+            rng.random((replicas, vertices.size, k)) * deg[None, :, None]
+        ).astype(pos_dtype)
+        offsets += starts[None, :, None]
+        return self._indices[offsets]
+
     def to_csr(self) -> "CSRGraph":
         return self
 

@@ -63,6 +63,31 @@ class CompleteGraph(Graph):
         draws += draws >= vertices[:, None]
         return draws
 
+    def sample_neighbors_batch(
+        self,
+        vertices: np.ndarray,
+        k: int,
+        rng: np.random.Generator,
+        replicas: int,
+    ) -> np.ndarray:
+        """Batched skip-self sampling in the narrow index dtype.
+
+        One ``integers`` draw of shape ``(R, m, k)`` plus the shift — no
+        per-replica work at all, and ``int32`` ids whenever ``n < 2**31``.
+        """
+        replicas = int(replicas)
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        vertices = self._check_vertices(vertices)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        dtype = self.index_dtype
+        draws = rng.integers(
+            0, self._n - 1, size=(replicas, vertices.size, k), dtype=dtype
+        )
+        draws += draws >= vertices[None, :, None]
+        return draws
+
     def to_csr(self) -> CSRGraph:
         n = self._n
         if n > 4096:

@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.asciiplot import line_plot
-from repro.core.dynamics import BestOfKDynamics
+from repro.core.ensemble import run_ensemble
 from repro.core.opinions import random_opinions
 from repro.core.recursions import ideal_trajectory
 from repro.graphs.implicit import CompleteGraph
@@ -34,26 +34,47 @@ def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
     n = 100_000 if quick else 1_000_000
     deltas = [0.05, 0.1, 0.2]
     g = CompleteGraph(n)
-    dyn = BestOfKDynamics(g, k=3)
     rows = []
-    gens = spawn_generators(seed, 2 * len(deltas))
+    gens = spawn_generators(seed, len(deltas) + 1)
+    # One replica per bias, advanced together by the batched dense engine
+    # (method="batched": this experiment is *about* the per-vertex process
+    # tracking the recursion, so it must not take the count-chain shortcut).
+    inits = np.stack(
+        [random_opinions(n, d, rng=gens[i]) for i, d in enumerate(deltas)]
+    )
+    ens = run_ensemble(
+        g,
+        replicas=len(deltas),
+        k=3,
+        seed=gens[-1],
+        max_steps=200,
+        initial_opinions=inits,
+        record_trajectories=True,
+        method="batched",
+    )
+    # Tolerance: per-round binomial noise has std <= 0.5/sqrt(n), but it
+    # compounds through the map's derivative 6b(1-b) (~3/2 while b is near
+    # 1/2, < 1 once b drops below ~0.21), so early noise is amplified by
+    # up to ~1.5^5 before the contraction phase damps it.  A sup-norm
+    # allowance of 10/sqrt(n) covers ~2.5 sigma of that amplified noise;
+    # the old 5/sqrt(n) bound ignored amplification and passed on seed
+    # luck.
+    tolerance = 10.0 / np.sqrt(n)
     worst_gap = 0.0
     plot_series: dict[str, tuple[np.ndarray, np.ndarray]] = {}
     for i, delta in enumerate(deltas):
-        init = random_opinions(n, delta, rng=gens[2 * i])
-        result = dyn.run(init, seed=gens[2 * i + 1], max_steps=200, keep_final=False)
-        measured = result.blue_trajectory / n
+        measured = ens.blue_trajectories[i] / n
         rec = ideal_trajectory(float(measured[0]), steps=measured.size - 1)
         gap = float(np.max(np.abs(measured - rec)))
         worst_gap = max(worst_gap, gap)
         rows.append(
             {
                 "delta": delta,
-                "steps": result.steps,
+                "steps": int(ens.steps[i]),
                 "b0 measured": float(measured[0]),
                 "sup-norm gap": gap,
-                "gap scale 5/sqrt(n)": 5.0 / np.sqrt(n),
-                "within": gap <= 5.0 / np.sqrt(n),
+                "gap scale 10/sqrt(n)": tolerance,
+                "within": gap <= tolerance,
             }
         )
         if i == 1:  # plot the middle bias
@@ -63,9 +84,6 @@ def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
                 "recursion": (ts, rec),
             }
 
-    # Tolerance: per-round binomial noise is ~sqrt(b(1-b)/n) <= 0.5/sqrt(n);
-    # the map's derivative is at most 3/2, and trajectories last ~10 rounds,
-    # so accumulated noise stays within a small constant times 1/sqrt(n).
     passed = all(r["within"] for r in rows)
     plot = line_plot(
         plot_series,
@@ -75,7 +93,7 @@ def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
     )
     summary = [
         f"worst sup-norm gap across biases: {worst_gap:.5f} "
-        f"(tolerance 5/sqrt(n) = {5.0 / np.sqrt(n):.5f})",
+        f"(tolerance 10/sqrt(n) = {tolerance:.5f})",
         "the measured population fraction is statistically "
         "indistinguishable from the equation (1) iterates",
     ]
@@ -94,7 +112,7 @@ def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
             "steps",
             "b0 measured",
             "sup-norm gap",
-            "gap scale 5/sqrt(n)",
+            "gap scale 10/sqrt(n)",
             "within",
         ],
         rows=rows,

@@ -19,7 +19,7 @@ import numpy as np
 from repro.analysis.experiments import run_consensus_ensemble
 from repro.analysis.stats import wilson_interval
 from repro.baselines.local_majority import local_majority_run
-from repro.baselines.voter import voter_win_probability
+from repro.baselines.voter import voter_ensemble, voter_win_probability
 from repro.core.dynamics import BestOfKDynamics, TieRule
 from repro.core.opinions import RED, exact_count_opinions, random_opinions
 from repro.graphs.generators import erdos_renyi
@@ -101,19 +101,20 @@ def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
         }
     )
 
-    # Voter-model exact win law on conditioned counts.
+    # Voter-model exact win law on conditioned counts — one batched
+    # engine call for all trials (the voter's Theta(n)-scale consensus
+    # times made the old per-trial loop the slowest part of E8).
     voter_trials = 60 if quick else 200
     blue0 = int(0.4 * n)
-    vg = spawn_generators((seed, 8), 2 * voter_trials)
-    voter = BestOfKDynamics(g, k=1)
-    red_wins = 0
-    predicted = None
-    for i in range(voter_trials):
-        init = exact_count_opinions(n, blue0, rng=vg[2 * i])
-        if predicted is None:
-            predicted = voter_win_probability(g, init)
-        res = voter.run(init, seed=vg[2 * i + 1], max_steps=100 * n, keep_final=False)
-        red_wins += int(res.converged and res.winner == RED)
+    predicted = voter_win_probability(
+        g, exact_count_opinions(n, blue0, rng=(seed, 8, 0))
+    )
+    voter_ens = voter_ensemble(
+        g, trials=voter_trials, initial_blue=blue0, seed=(seed, 8)
+    )
+    red_wins = int(
+        np.count_nonzero(voter_ens.winners[voter_ens.converged] == RED)
+    )
     lo, hi = wilson_interval(red_wins, voter_trials)
     voter_law_ok = lo <= predicted <= hi
     rows.append(

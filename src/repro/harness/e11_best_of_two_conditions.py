@@ -15,15 +15,15 @@ import numpy as np
 
 from repro.analysis.stats import wilson_interval
 from repro.baselines.best_of_two import (
+    best_of_two_ensemble,
     cooper_imbalance_threshold,
     satisfies_spectral_condition,
 )
-from repro.core.dynamics import BestOfKDynamics, TieRule
+from repro.core.dynamics import TieRule
 from repro.core.opinions import RED, exact_count_opinions
 from repro.graphs.generators import random_regular
 from repro.graphs.spectral import second_eigenvalue
 from repro.harness.base import ExperimentResult
-from repro.util.rng import spawn_generators
 
 EXPERIMENT_ID = "E11"
 TITLE = "Best-of-2 imbalance thresholds ([4], [5])"
@@ -45,20 +45,23 @@ def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
     threshold = cooper_imbalance_threshold(n, d, K=1.0)
     imbalances = [0, int(0.25 * threshold), int(0.5 * threshold), int(threshold), int(2 * threshold)]
 
-    dyn = BestOfKDynamics(g, k=2, tie_rule=TieRule.KEEP_SELF)
     rows = []
     rates = []
     for i, gap in enumerate(imbalances):
         blue0 = (n - gap) // 2
-        gens = spawn_generators((seed, 1, i), 2 * trials)
-        red_wins = 0
-        spectral = None
-        for j in range(trials):
-            init = exact_count_opinions(n, blue0, rng=gens[2 * j])
-            if spectral is None:
-                spectral = satisfies_spectral_condition(g, init, lambda2=lam2)
-            res = dyn.run(init, seed=gens[2 * j + 1], max_steps=2000, keep_final=False)
-            red_wins += int(res.converged and res.winner == RED)
+        # Batched engine run: all trials of one sweep point advance
+        # together (uniform placement per trial from spawned streams).
+        ens = best_of_two_ensemble(
+            g,
+            trials=trials,
+            initial_blue=blue0,
+            tie_rule=TieRule.KEEP_SELF,
+            seed=(seed, 1, i),
+        )
+        red_wins = int(np.count_nonzero(ens.winners[ens.converged] == RED))
+        spectral = satisfies_spectral_condition(
+            g, exact_count_opinions(n, blue0, rng=(seed, 1, i, 0)), lambda2=lam2
+        )
         lo, hi = wilson_interval(red_wins, trials)
         rate = red_wins / trials
         rates.append(rate)
@@ -74,13 +77,16 @@ def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
         )
 
     # Tie-rule contrast at the symmetric point.
-    gens = spawn_generators((seed, 2), 2 * trials)
-    rand_dyn = BestOfKDynamics(g, k=2, tie_rule=TieRule.RANDOM)
-    rand_red = 0
-    for j in range(trials):
-        init = exact_count_opinions(n, n // 2, rng=gens[2 * j])
-        res = rand_dyn.run(init, seed=gens[2 * j + 1], max_steps=2000, keep_final=False)
-        rand_red += int(res.converged and res.winner == RED)
+    rand_ens = best_of_two_ensemble(
+        g,
+        trials=trials,
+        initial_blue=n // 2,
+        tie_rule=TieRule.RANDOM,
+        seed=(seed, 2),
+    )
+    rand_red = int(
+        np.count_nonzero(rand_ens.winners[rand_ens.converged] == RED)
+    )
     lo_r, hi_r = wilson_interval(rand_red, trials)
     rows.append(
         {

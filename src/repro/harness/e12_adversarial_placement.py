@@ -19,11 +19,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.dynamics import BestOfKDynamics
+from repro.core.ensemble import run_ensemble
 from repro.core.opinions import RED, adversarial_opinions, exact_count_opinions
 from repro.graphs.generators import erdos_renyi, two_clique_bridge
 from repro.harness.base import ExperimentResult
-from repro.util.rng import spawn_generators
 
 EXPERIMENT_ID = "E12"
 TITLE = "i.i.d. vs adversarial opinion placement"
@@ -40,19 +39,21 @@ BLUE_FRACTION = 0.4
 
 
 def _ensemble(graph, make_init, trials, seed, max_steps):
-    dyn = BestOfKDynamics(graph, k=3)
-    gens = spawn_generators(seed, 2 * trials)
-    red, conv, steps = 0, 0, []
-    for i in range(trials):
-        init = make_init(gens[2 * i])
-        res = dyn.run(init, seed=gens[2 * i + 1], max_steps=max_steps, keep_final=False)
-        if res.converged:
-            conv += 1
-            steps.append(res.steps)
-            red += int(res.winner == RED)
-    mean_t = float(np.mean(steps)) if steps else float("nan")
-    max_t = int(np.max(steps)) if steps else 0
-    return red, conv, mean_t, max_t
+    """All trials of one placement case through the batched engine."""
+    ens = run_ensemble(
+        graph,
+        replicas=trials,
+        k=3,
+        seed=seed,
+        max_steps=max_steps,
+        initializer=lambda n, rng: make_init(rng),
+        record_trajectories=False,
+    )
+    red = int(np.count_nonzero(ens.winners[ens.converged] == RED))
+    steps = ens.converged_steps
+    mean_t = float(steps.mean()) if steps.size else float("nan")
+    max_t = int(steps.max()) if steps.size else 0
+    return red, ens.converged_count, mean_t, max_t
 
 
 def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:

@@ -177,13 +177,16 @@ class TestRun:
         with pytest.raises(ValueError):
             BestOfKDynamics(CompleteGraph(10), k=0)
 
-    def test_blue_fractions_requires_final(self):
+    def test_blue_fractions_without_final(self):
+        """n is stored on the result, so fractions work with keep_final=False."""
         g = CompleteGraph(50)
         res = best_of_three(g).run(
             random_opinions(50, 0.2, rng=14), seed=15, keep_final=False
         )
-        with pytest.raises(ValueError, match="keep_final"):
-            _ = res.blue_fractions
+        assert res.final_opinions is None
+        assert res.n == 50
+        assert res.blue_fractions[0] == res.blue_trajectory[0] / 50
+        assert res.blue_fractions[-1] in (0.0, 1.0)
 
     def test_blue_fractions(self):
         g = CompleteGraph(50)
