@@ -1,0 +1,154 @@
+"""Sweep-scheduler scaling benchmark: serial vs ``--jobs`` vs warm cache.
+
+Measures the three execution regimes of the sweep subsystem on the
+*actual harness grids* (the ``sweep_spec`` declarations of the converted
+experiments E1/E2/E8/E9/E11 — the same points ``python -m repro report
+--jobs N`` fans out):
+
+1. **cold serial** — ``jobs=1``, empty cache (the pre-sweep baseline);
+2. **cold parallel** — ``jobs=min(4, cpus)``, empty cache;
+3. **warm re-run** — same spec against the parallel run's cache, which
+   must skip (almost) every point.
+
+Writes ``BENCH_sweep_scaling.json``::
+
+    PYTHONPATH=src python benchmarks/bench_sweep_scaling.py           # quick grids
+    PYTHONPATH=src python benchmarks/bench_sweep_scaling.py --full    # report --full grids
+
+The parallel-speedup acceptance target (≥ 2× with 4 jobs) presumes ≥ 4
+physical cores; the snapshot records ``cpu_count`` so a 1-core container
+run is legible as such rather than as a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
+
+_SPEC_MODULES = [
+    "repro.harness.e01_consensus_scaling",
+    "repro.harness.e02_delta_dependence",
+    "repro.harness.e08_protocol_comparison",
+    "repro.harness.e09_density_threshold",
+    "repro.harness.e11_best_of_two_conditions",
+]
+
+
+def _specs(quick: bool, seed: int):
+    for name in _SPEC_MODULES:
+        yield importlib.import_module(name).sweep_spec(quick=quick, seed=seed)
+
+
+def _run_all(specs, *, jobs: int, cache) -> tuple[float, int, int]:
+    """Execute every spec; returns (elapsed_s, points, cache_hits)."""
+    from repro.sweeps import run_sweep
+
+    start = time.perf_counter()
+    points = hits = 0
+    for spec in specs:
+        outcome = run_sweep(spec, jobs=jobs, cache=cache)
+        points += outcome.stats.points
+        hits += outcome.stats.hits
+    return time.perf_counter() - start, points, hits
+
+
+def measure(*, quick: bool = True, seed: int = 0, jobs: int | None = None) -> dict:
+    from repro.sweeps import SweepCache
+    from repro.sweeps.runner import _build_host_cached
+
+    cpus = os.cpu_count() or 1
+    jobs = jobs if jobs is not None else min(4, cpus)
+    specs = list(_specs(quick, seed))
+
+    with tempfile.TemporaryDirectory(prefix="bench-sweep-") as tmp:
+        serial_s, points, _ = _run_all(specs, jobs=1, cache=SweepCache(Path(tmp) / "a"))
+
+        # Drop memoised hosts so the parallel pass rebuilds them too and
+        # the two cold passes pay identical setup costs.
+        _build_host_cached.cache_clear()
+        parallel_cache = SweepCache(Path(tmp) / "b")
+        parallel_s, _, _ = _run_all(specs, jobs=jobs, cache=parallel_cache)
+
+        warm_s, warm_points, warm_hits = _run_all(
+            specs, jobs=jobs, cache=parallel_cache
+        )
+
+    return {
+        "mode": "quick" if quick else "full",
+        "experiments": [m.rsplit(".", 1)[1] for m in _SPEC_MODULES],
+        "points": points,
+        "cpu_count": cpus,
+        "jobs": jobs,
+        "cold_serial_s": round(serial_s, 3),
+        "cold_parallel_s": round(parallel_s, 3),
+        "parallel_speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "warm_s": round(warm_s, 3),
+        "warm_hits": warm_hits,
+        "warm_skip_fraction": round(warm_hits / warm_points, 4) if warm_points else 0.0,
+        "warm_speedup": round(serial_s / warm_s, 1) if warm_s else None,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="benchmark the report --full grids instead of the quick ones",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="parallel worker count (default: min(4, cpus))"
+    )
+    parser.add_argument(
+        "--out-dir",
+        default=str(REPO),
+        help="directory for the BENCH_*.json snapshot (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)  # fail here, not post-run
+
+    import numpy as np
+
+    from repro._version import __version__
+
+    started = time.time()
+    results = measure(quick=not args.full, seed=args.seed, jobs=args.jobs)
+    snapshot = {
+        "benchmark": "sweep_scaling",
+        "repro_version": __version__,
+        "numpy_version": np.__version__,
+        "python_version": platform.python_version(),
+        "machine": platform.machine(),
+        "unix_time": int(started),
+        "wall_seconds": round(time.time() - started, 3),
+        "results": results,
+    }
+    out_path = out_dir / "BENCH_sweep_scaling.json"
+    out_path.write_text(json.dumps(snapshot, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out_path}")
+    print(
+        f"  {results['points']} points on {results['cpu_count']} cpu(s): "
+        f"serial {results['cold_serial_s']}s, "
+        f"jobs={results['jobs']} {results['cold_parallel_s']}s "
+        f"({results['parallel_speedup']}x), "
+        f"warm {results['warm_s']}s "
+        f"(skipped {results['warm_skip_fraction']:.0%})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,7 +22,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.dynamics import BestOfKDynamics
-from repro.core.ensemble import run_ensemble
+from repro.core.ensemble import EnsembleResult, run_ensemble
 from repro.core.opinions import BLUE, RED, random_opinions
 from repro.graphs.base import Graph
 from repro.util.rng import SeedLike, spawn_generators
@@ -51,6 +51,22 @@ class ConsensusEnsemble:
     steps: np.ndarray
     winners: np.ndarray
     unconverged: int
+
+    @classmethod
+    def from_ensemble_result(cls, result: EnsembleResult) -> "ConsensusEnsemble":
+        """Summarise a batched-engine :class:`EnsembleResult`.
+
+        The converged-trial filtering convention lives here, once, for
+        every consumer of the engine (the ensemble wrappers below, the
+        sweep runner).
+        """
+        conv = result.converged
+        return cls(
+            trials=result.replicas,
+            steps=result.steps[conv],
+            winners=result.winners[conv],
+            unconverged=result.unconverged,
+        )
 
     @property
     def converged(self) -> int:
@@ -144,13 +160,7 @@ def run_consensus_ensemble(
             initializer=initializer,
             record_trajectories=False,
         )
-        conv = ens.converged
-        return ConsensusEnsemble(
-            trials=trials,
-            steps=ens.steps[conv],
-            winners=ens.winners[conv],
-            unconverged=ens.unconverged,
-        )
+        return ConsensusEnsemble.from_ensemble_result(ens)
 
     # Generic fallback for exotic dynamics objects that merely quack like
     # BestOfKDynamics (custom .run): the original sequential loop.

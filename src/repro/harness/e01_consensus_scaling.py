@@ -23,11 +23,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.asciiplot import line_plot
-from repro.analysis.experiments import run_consensus_ensemble
 from repro.analysis.fitting import fit_growth_models
 from repro.core.recursions import consensus_time_bound, ideal_hitting_time
-from repro.graphs.implicit import CompleteGraph, RookGraph
 from repro.harness.base import ExperimentResult
+from repro.sweeps import (
+    HostSpec,
+    InitSpec,
+    Point,
+    ProtocolSpec,
+    SweepCache,
+    SweepSpec,
+    run_sweep,
+)
 
 EXPERIMENT_ID = "E1"
 TITLE = "Consensus-time scaling in n (Theorem 1)"
@@ -47,8 +54,12 @@ def _recursion_prediction(n: int) -> int:
     return ideal_hitting_time(0.5 - DELTA, 0.5 / n)
 
 
-def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
-    """Run the scaling sweep; ``quick`` trims sizes and trial counts."""
+def sweep_spec(*, quick: bool = True, seed: int = 0) -> SweepSpec:
+    """E1's grid: K_n over doubling exponents, then rook graphs.
+
+    Seeds reproduce the pre-sweep loops exactly: ``(seed, 1, i)`` down
+    the complete-graph axis, ``(seed, 2, i)`` down the rook axis.
+    """
     if quick:
         exponents = [8, 10, 12, 14, 16]
         trials = 15
@@ -57,51 +68,59 @@ def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
         exponents = [8, 10, 12, 14, 16, 18, 20]
         trials = 30
         rook_sides = [32, 64, 128, 256, 512]
+    points = [
+        Point(
+            host=HostSpec.of("complete", n=2**e),
+            protocol=ProtocolSpec.best_of(3),
+            init=InitSpec.iid(DELTA),
+            trials=trials,
+            max_steps=500,
+            seed=(seed, 1, i),
+            label=f"K_{2**e}",
+        )
+        for i, e in enumerate(exponents)
+    ]
+    # A structurally different dense family (alpha ~ 1/2) to show the
+    # scaling is not a complete-graph artefact.
+    points += [
+        Point(
+            host=HostSpec.of("rook", side=m),
+            protocol=ProtocolSpec.best_of(3),
+            init=InitSpec.iid(DELTA),
+            trials=trials,
+            max_steps=500,
+            seed=(seed, 2, i),
+            label=f"Rook_{m}x{m}",
+        )
+        for i, m in enumerate(rook_sides)
+    ]
+    return SweepSpec(name="e01_consensus_scaling", points=tuple(points))
+
+
+def run(
+    *,
+    quick: bool = True,
+    seed: int = 0,
+    jobs: int = 1,
+    cache: SweepCache | None = None,
+) -> ExperimentResult:
+    """Run the scaling sweep; ``quick`` trims sizes and trial counts."""
+    spec = sweep_spec(quick=quick, seed=seed)
+    outcome = run_sweep(spec, jobs=jobs, cache=cache)
 
     rows = []
     sizes, means = [], []
     prediction_ok = True
-    for i, e in enumerate(exponents):
-        n = 2**e
-        g = CompleteGraph(n)
-        ens = run_consensus_ensemble(
-            g, trials=trials, delta=DELTA, seed=(seed, 1, i), max_steps=500
-        )
-        budget = consensus_time_bound(n, n - 1, DELTA)
-        pred = _recursion_prediction(n)
-        gap = abs(ens.mean_steps - pred)
-        prediction_ok &= gap <= PREDICTION_TOLERANCE
-        rows.append(
-            {
-                "host": f"K_{n}",
-                "n": n,
-                "alpha": 1.0,
-                "trials": ens.trials,
-                "red wins": ens.red_wins,
-                "mean T": ens.mean_steps,
-                "max T": ens.max_steps,
-                "recursion T": pred,
-                "Thm1 budget": budget,
-            }
-        )
-        sizes.append(n)
-        means.append(ens.mean_steps)
-
-    # A structurally different dense family (alpha ~ 1/2) to show the
-    # scaling is not a complete-graph artefact.
-    for i, m in enumerate(rook_sides):
-        g = RookGraph(m)
+    for point, ens in outcome:
+        g = point.host.build()
         n = g.num_vertices
-        ens = run_consensus_ensemble(
-            g, trials=trials, delta=DELTA, seed=(seed, 2, i), max_steps=500
-        )
         pred = _recursion_prediction(n)
         prediction_ok &= abs(ens.mean_steps - pred) <= PREDICTION_TOLERANCE
         rows.append(
             {
-                "host": f"Rook_{m}x{m}",
+                "host": point.label,
                 "n": n,
-                "alpha": round(g.alpha, 3),
+                "alpha": 1.0 if point.host.family == "complete" else round(g.alpha, 3),
                 "trials": ens.trials,
                 "red wins": ens.red_wins,
                 "mean T": ens.mean_steps,
@@ -110,6 +129,9 @@ def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
                 "Thm1 budget": consensus_time_bound(n, g.min_degree, DELTA),
             }
         )
+        if point.host.family == "complete":
+            sizes.append(n)
+            means.append(ens.mean_steps)
 
     fits = fit_growth_models(np.array(sizes, dtype=float), np.array(means))
     loglog, log, linear = fits["loglog"], fits["log"], fits["linear"]

@@ -15,10 +15,17 @@ import math
 
 import numpy as np
 
-from repro.analysis.experiments import run_consensus_ensemble
 from repro.core.recursions import consensus_time_bound
-from repro.graphs.implicit import CompleteGraph
 from repro.harness.base import ExperimentResult
+from repro.sweeps import (
+    HostSpec,
+    InitSpec,
+    Point,
+    ProtocolSpec,
+    SweepCache,
+    SweepSpec,
+    run_sweep,
+)
 
 EXPERIMENT_ID = "E2"
 TITLE = "Consensus-time dependence on the initial bias delta"
@@ -30,7 +37,8 @@ PAPER_CLAIM = (
 )
 
 
-def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
+def sweep_spec(*, quick: bool = True, seed: int = 0) -> SweepSpec:
+    """E2's grid: fixed K_n host, δ halving along the axis (seed ``(seed, i)``)."""
     if quick:
         n = 2**14
         deltas = [0.25, 0.125, 0.0625, 0.03125, 0.015625]
@@ -39,16 +47,38 @@ def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
         n = 2**17
         deltas = [0.25, 0.125, 0.0625, 0.03125, 0.015625, 0.0078125, 0.00390625]
         trials = 30
+    points = tuple(
+        Point(
+            host=HostSpec.of("complete", n=n),
+            protocol=ProtocolSpec.best_of(3),
+            init=InitSpec.iid(delta),
+            trials=trials,
+            max_steps=2000,
+            seed=(seed, i),
+            label=f"delta={delta}",
+        )
+        for i, delta in enumerate(deltas)
+    )
+    return SweepSpec(name="e02_delta_dependence", points=points)
 
-    g = CompleteGraph(n)
+
+def run(
+    *,
+    quick: bool = True,
+    seed: int = 0,
+    jobs: int = 1,
+    cache: SweepCache | None = None,
+) -> ExperimentResult:
+    spec = sweep_spec(quick=quick, seed=seed)
+    outcome = run_sweep(spec, jobs=jobs, cache=cache)
+
+    n = spec.points[0].host.param_dict()["n"]
     d = n - 1
     bias_floor = 1.0 / math.log(d)  # (log d)^-1, the C=1 hypothesis line
     rows = []
     xs, ys = [], []
-    for i, delta in enumerate(deltas):
-        ens = run_consensus_ensemble(
-            g, trials=trials, delta=delta, seed=(seed, i), max_steps=2000
-        )
+    for point, ens in outcome:
+        delta = point.init.delta
         hyp = delta >= bias_floor
         rows.append(
             {

@@ -16,14 +16,20 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.experiments import run_consensus_ensemble
 from repro.analysis.stats import wilson_interval
 from repro.baselines.local_majority import local_majority_run
-from repro.baselines.voter import voter_ensemble, voter_win_probability
-from repro.core.dynamics import BestOfKDynamics, TieRule
+from repro.baselines.voter import voter_win_probability
 from repro.core.opinions import RED, exact_count_opinions, random_opinions
-from repro.graphs.generators import erdos_renyi
 from repro.harness.base import ExperimentResult
+from repro.sweeps import (
+    HostSpec,
+    InitSpec,
+    Point,
+    ProtocolSpec,
+    SweepCache,
+    SweepSpec,
+    run_sweep,
+)
 from repro.util.rng import spawn_generators
 
 EXPERIMENT_ID = "E8"
@@ -38,35 +44,79 @@ PAPER_CLAIM = (
 DELTA = 0.1
 
 
-def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
+_PROTOCOLS: list[tuple[str, ProtocolSpec]] = [
+    ("voter (k=1)", ProtocolSpec.best_of(1)),
+    ("best-of-2 keep", ProtocolSpec.best_of(2, tie_rule="keep_self")),
+    ("best-of-2 rand", ProtocolSpec.best_of(2, tie_rule="random")),
+    ("best-of-3", ProtocolSpec.best_of(3)),
+    ("best-of-5", ProtocolSpec.best_of(5)),
+    ("best-of-7", ProtocolSpec.best_of(7)),
+]
+
+
+def sweep_spec(*, quick: bool = True, seed: int = 0) -> SweepSpec:
+    """E8's grid: one quenched ER host, the protocol ladder along the axis.
+
+    The final point is the voter-law check: a large conditioned-count
+    voter ensemble on the same host (seed ``(seed, 8)`` as before the
+    rewire).
+    """
     n = 1024 if quick else 4096
     trials = 10 if quick else 30
-    g = erdos_renyi(n, 0.25, seed=(seed, 99))
-
-    protocols = [
-        ("voter (k=1)", lambda gg: BestOfKDynamics(gg, k=1)),
-        ("best-of-2 keep", lambda gg: BestOfKDynamics(gg, k=2, tie_rule=TieRule.KEEP_SELF)),
-        ("best-of-2 rand", lambda gg: BestOfKDynamics(gg, k=2, tie_rule=TieRule.RANDOM)),
-        ("best-of-3", lambda gg: BestOfKDynamics(gg, k=3)),
-        ("best-of-5", lambda gg: BestOfKDynamics(gg, k=5)),
-        ("best-of-7", lambda gg: BestOfKDynamics(gg, k=7)),
-    ]
-    rows = []
-    mean_by_name: dict[str, float] = {}
-    for i, (name, factory) in enumerate(protocols):
+    host = HostSpec.of("erdos_renyi", n=n, p=0.25, seed=(seed, 99))
+    points = []
+    for i, (name, protocol) in enumerate(_PROTOCOLS):
         # Non-amplifying protocols (voter; best-of-2 with random ties is a
         # martingale: E[b'] = b^2 + 2b(1-b)/2 = b) diffuse to consensus in
         # Theta(n)-scale time and need the long budget.
         slow = name.startswith("voter") or name == "best-of-2 rand"
-        max_steps = 50 * n if slow else 2000
-        ens = run_consensus_ensemble(
-            g,
-            trials=trials,
-            delta=DELTA,
-            seed=(seed, i),
-            dynamics_factory=factory,
-            max_steps=max_steps,
+        points.append(
+            Point(
+                host=host,
+                protocol=protocol,
+                init=InitSpec.iid(DELTA),
+                trials=trials,
+                max_steps=50 * n if slow else 2000,
+                seed=(seed, i),
+                label=name,
+            )
         )
+    # Voter-model exact win law on conditioned counts — one batched
+    # engine call for all trials (the voter's Theta(n)-scale consensus
+    # times made the old per-trial loop the slowest part of E8).
+    voter_trials = 60 if quick else 200
+    blue0 = int(0.4 * n)
+    points.append(
+        Point(
+            host=host,
+            protocol=ProtocolSpec.best_of(1),
+            init=InitSpec.count(blue0),
+            trials=voter_trials,
+            max_steps=100 * n,
+            seed=(seed, 8),
+            label=f"voter law check (B0={blue0})",
+        )
+    )
+    return SweepSpec(name="e08_protocol_comparison", points=tuple(points))
+
+
+def run(
+    *,
+    quick: bool = True,
+    seed: int = 0,
+    jobs: int = 1,
+    cache: SweepCache | None = None,
+) -> ExperimentResult:
+    spec = sweep_spec(quick=quick, seed=seed)
+    outcome = run_sweep(spec, jobs=jobs, cache=cache)
+    g = spec.points[0].host.build()
+    n = g.num_vertices
+    trials = spec.points[0].trials
+
+    rows = []
+    mean_by_name: dict[str, float] = {}
+    for point, ens in list(outcome)[: len(_PROTOCOLS)]:
+        name = point.label
         lo, hi = ens.red_win_interval()
         rows.append(
             {
@@ -101,27 +151,22 @@ def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
         }
     )
 
-    # Voter-model exact win law on conditioned counts — one batched
-    # engine call for all trials (the voter's Theta(n)-scale consensus
-    # times made the old per-trial loop the slowest part of E8).
-    voter_trials = 60 if quick else 200
-    blue0 = int(0.4 * n)
+    # Voter-law point: compare the measured conditioned-count win rate
+    # against the exact degree-share law.
+    law_point, law_ens = list(outcome)[-1]
+    voter_trials = law_point.trials
+    blue0 = law_point.init.blue
     predicted = voter_win_probability(
         g, exact_count_opinions(n, blue0, rng=(seed, 8, 0))
     )
-    voter_ens = voter_ensemble(
-        g, trials=voter_trials, initial_blue=blue0, seed=(seed, 8)
-    )
-    red_wins = int(
-        np.count_nonzero(voter_ens.winners[voter_ens.converged] == RED)
-    )
+    red_wins = law_ens.red_wins
     lo, hi = wilson_interval(red_wins, voter_trials)
     voter_law_ok = lo <= predicted <= hi
     rows.append(
         {
-            "protocol": f"voter law check (B0={blue0})",
+            "protocol": law_point.label,
             "trials": voter_trials,
-            "converged": voter_trials,
+            "converged": law_ens.converged,
             "red win rate": red_wins / voter_trials,
             "win CI": f"[{lo:.2f},{hi:.2f}]",
             "mean T": float("nan"),

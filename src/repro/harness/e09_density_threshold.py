@@ -16,12 +16,18 @@ Theorem 1 needs ``d = n^α`` with ``α = Ω(1/log log n)``.  Two probes:
 
 from __future__ import annotations
 
-from repro.analysis.experiments import run_consensus_ensemble
 from repro.core.recursions import consensus_time_bound
-from repro.graphs.generators import erdos_renyi, ring_lattice, star_polluted
-from repro.graphs.implicit import CompleteGraph, RookGraph
 from repro.graphs.properties import is_dense_for_theorem1
 from repro.harness.base import ExperimentResult
+from repro.sweeps import (
+    HostSpec,
+    InitSpec,
+    Point,
+    ProtocolSpec,
+    SweepCache,
+    SweepSpec,
+    run_sweep,
+)
 
 EXPERIMENT_ID = "E9"
 TITLE = "Density threshold: alpha = Omega(1/log log n) is consumed"
@@ -37,27 +43,65 @@ PAPER_CLAIM = (
 DELTA = 0.15
 
 
-def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
+def _hosts(*, quick: bool, seed: int) -> list[tuple[str, str, HostSpec]]:
+    """The ``(label, role, host)`` table — single source for grid + report."""
     n_exp = 12 if quick else 14
     n = 2**n_exp
+    m = 2 ** (n_exp // 2)
+    return [
+        ("complete", "dense", HostSpec.of("complete", n=n)),
+        ("rook", "dense", HostSpec.of("rook", side=m)),
+        (
+            "ER d~sqrt(n)",
+            "dense",
+            HostSpec.of("erdos_renyi", n=n, p=(n**0.5) / n, seed=(seed, 1)),
+        ),
+        ("ring lattice d=4", "sparse", HostSpec.of("ring_lattice", n=n, d=4)),
+        (
+            "clique + pendants",
+            "control",
+            HostSpec.of("star_polluted", core=n - n // 8, pendants=n // 8),
+        ),
+    ]
+
+
+def sweep_spec(*, quick: bool = True, seed: int = 0) -> SweepSpec:
+    """E9's grid: one Best-of-3 ensemble per host family (seed ``(seed, 2, i)``)."""
     trials = 6 if quick else 20
     budget_cap = 800 if quick else 3000
-    m = 2 ** (n_exp // 2)
-    hosts = [
-        ("complete", CompleteGraph(n), "dense"),
-        ("rook", RookGraph(m), "dense"),
-        ("ER d~sqrt(n)", erdos_renyi(n, (n**0.5) / n, seed=(seed, 1)), "dense"),
-        ("ring lattice d=4", ring_lattice(n, 4), "sparse"),
-        ("clique + pendants", star_polluted(n - n // 8, n // 8), "control"),
-    ]
+    points = tuple(
+        Point(
+            host=host,
+            protocol=ProtocolSpec.best_of(3),
+            init=InitSpec.iid(DELTA),
+            trials=trials,
+            max_steps=budget_cap,
+            seed=(seed, 2, i),
+            label=name,
+        )
+        for i, (name, _, host) in enumerate(_hosts(quick=quick, seed=seed))
+    )
+    return SweepSpec(name="e09_density_threshold", points=points)
+
+
+def run(
+    *,
+    quick: bool = True,
+    seed: int = 0,
+    jobs: int = 1,
+    cache: SweepCache | None = None,
+) -> ExperimentResult:
+    spec = sweep_spec(quick=quick, seed=seed)
+    outcome = run_sweep(spec, jobs=jobs, cache=cache)
+    trials = spec.points[0].trials
+    budget_cap = spec.points[0].max_steps
+
     rows = []
     stats: dict[str, dict] = {}
-    for i, (name, g, role) in enumerate(hosts):
+    for (name, role, _), (point, ens) in zip(_hosts(quick=quick, seed=seed), outcome):
+        g = point.host.build()
         dense = is_dense_for_theorem1(g)
         budget = consensus_time_bound(g.num_vertices, max(g.min_degree, 3), DELTA)
-        ens = run_consensus_ensemble(
-            g, trials=trials, delta=DELTA, seed=(seed, 2, i), max_steps=budget_cap
-        )
         stats[name] = {
             "role": role,
             "converged": ens.converged,

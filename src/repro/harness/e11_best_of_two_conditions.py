@@ -11,19 +11,23 @@ keep-self vs random tie-rule comparison at the symmetric point.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis.stats import wilson_interval
 from repro.baselines.best_of_two import (
-    best_of_two_ensemble,
     cooper_imbalance_threshold,
     satisfies_spectral_condition,
 )
-from repro.core.dynamics import TieRule
-from repro.core.opinions import RED, exact_count_opinions
-from repro.graphs.generators import random_regular
+from repro.core.opinions import exact_count_opinions
 from repro.graphs.spectral import second_eigenvalue
 from repro.harness.base import ExperimentResult
+from repro.sweeps import (
+    HostSpec,
+    InitSpec,
+    Point,
+    ProtocolSpec,
+    SweepCache,
+    SweepSpec,
+    run_sweep,
+)
 
 EXPERIMENT_ID = "E11"
 TITLE = "Best-of-2 imbalance thresholds ([4], [5])"
@@ -36,29 +40,74 @@ PAPER_CLAIM = (
 )
 
 
-def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
-    n = 2048
-    d = 32
+N = 2048
+D = 32
+
+
+def _imbalances() -> list[int]:
+    """The count-imbalance ladder through the [4] threshold scale.
+
+    Single source of truth: ``run`` pairs these values positionally with
+    the sweep's KEEP_SELF points, so grid and report must share the list.
+    """
+    threshold = cooper_imbalance_threshold(N, D, K=1.0)
+    return [0, int(0.25 * threshold), int(0.5 * threshold), int(threshold), int(2 * threshold)]
+
+
+def sweep_spec(*, quick: bool = True, seed: int = 0) -> SweepSpec:
+    """E11's grid: imbalance axis under KEEP_SELF ties (seed ``(seed, 1, i)``)
+    plus the RANDOM-ties contrast at the symmetric point (seed ``(seed, 2)``)."""
     trials = 20 if quick else 60
-    g = random_regular(n, d, seed=(seed, 0))
+    host = HostSpec.of("random_regular", n=N, d=D, seed=(seed, 0))
+    imbalances = _imbalances()
+    points = [
+        Point(
+            host=host,
+            protocol=ProtocolSpec.best_of(2, tie_rule="keep_self"),
+            init=InitSpec.count((N - gap) // 2),
+            trials=trials,
+            max_steps=2000,
+            seed=(seed, 1, i),
+            label=f"gap={gap}",
+        )
+        for i, gap in enumerate(imbalances)
+    ]
+    # Tie-rule contrast at the symmetric point.
+    points.append(
+        Point(
+            host=host,
+            protocol=ProtocolSpec.best_of(2, tie_rule="random"),
+            init=InitSpec.count(N // 2),
+            trials=trials,
+            max_steps=2000,
+            seed=(seed, 2),
+            label="gap=0 (RANDOM ties)",
+        )
+    )
+    return SweepSpec(name="e11_best_of_two_conditions", points=tuple(points))
+
+
+def run(
+    *,
+    quick: bool = True,
+    seed: int = 0,
+    jobs: int = 1,
+    cache: SweepCache | None = None,
+) -> ExperimentResult:
+    n, d = N, D
+    spec = sweep_spec(quick=quick, seed=seed)
+    outcome = run_sweep(spec, jobs=jobs, cache=cache)
+    trials = spec.points[0].trials
+    g = spec.points[0].host.build()
     lam2 = second_eigenvalue(g)
     threshold = cooper_imbalance_threshold(n, d, K=1.0)
-    imbalances = [0, int(0.25 * threshold), int(0.5 * threshold), int(threshold), int(2 * threshold)]
+    imbalances = _imbalances()
 
     rows = []
     rates = []
-    for i, gap in enumerate(imbalances):
-        blue0 = (n - gap) // 2
-        # Batched engine run: all trials of one sweep point advance
-        # together (uniform placement per trial from spawned streams).
-        ens = best_of_two_ensemble(
-            g,
-            trials=trials,
-            initial_blue=blue0,
-            tie_rule=TieRule.KEEP_SELF,
-            seed=(seed, 1, i),
-        )
-        red_wins = int(np.count_nonzero(ens.winners[ens.converged] == RED))
+    for i, (gap, (point, ens)) in enumerate(zip(imbalances, outcome)):
+        blue0 = point.init.blue
+        red_wins = ens.red_wins
         spectral = satisfies_spectral_condition(
             g, exact_count_opinions(n, blue0, rng=(seed, 1, i, 0)), lambda2=lam2
         )
@@ -76,17 +125,8 @@ def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
             }
         )
 
-    # Tie-rule contrast at the symmetric point.
-    rand_ens = best_of_two_ensemble(
-        g,
-        trials=trials,
-        initial_blue=n // 2,
-        tie_rule=TieRule.RANDOM,
-        seed=(seed, 2),
-    )
-    rand_red = int(
-        np.count_nonzero(rand_ens.winners[rand_ens.converged] == RED)
-    )
+    _, rand_ens = list(outcome)[-1]
+    rand_red = rand_ens.red_wins
     lo_r, hi_r = wilson_interval(rand_red, trials)
     rows.append(
         {

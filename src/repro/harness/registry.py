@@ -3,11 +3,22 @@
 from __future__ import annotations
 
 import importlib
-from typing import Callable
+import inspect
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 from repro.harness.base import ExperimentResult
 
-__all__ = ["all_experiment_ids", "get_runner", "run_experiment"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, type-only
+    from repro.sweeps import SweepCache
+
+__all__ = [
+    "ExperimentMetadata",
+    "all_experiment_ids",
+    "experiment_metadata",
+    "get_runner",
+    "run_experiment",
+]
 
 _MODULES: dict[str, str] = {
     "E1": "repro.harness.e01_consensus_scaling",
@@ -30,9 +41,52 @@ _MODULES: dict[str, str] = {
 }
 
 
+@dataclass(frozen=True)
+class ExperimentMetadata:
+    """Static description of one registered experiment.
+
+    ``parallelizable`` reports whether the runner accepts the sweep
+    scheduler's ``jobs``/``cache`` controls (i.e. its grid has been
+    extracted into a :class:`~repro.sweeps.spec.SweepSpec`).
+    """
+
+    experiment_id: str
+    module: str
+    title: str
+    paper_claim: str
+    parallelizable: bool
+
+
 def all_experiment_ids() -> list[str]:
     """All registered experiment ids in DESIGN.md order."""
     return list(_MODULES)
+
+
+def experiment_metadata(
+    experiment_id: str | None = None,
+) -> list[ExperimentMetadata]:
+    """Metadata for one experiment (or, by default, all of them).
+
+    This is the public face of the registry for tooling — the CLI's
+    ``list`` command, report headers, documentation generators — so
+    nothing outside this module needs to touch the module table.
+    """
+    ids = [experiment_id] if experiment_id is not None else all_experiment_ids()
+    out = []
+    for eid in ids:
+        runner = get_runner(eid)
+        module = inspect.getmodule(runner)
+        params = inspect.signature(runner).parameters
+        out.append(
+            ExperimentMetadata(
+                experiment_id=eid,
+                module=module.__name__,
+                title=module.TITLE,
+                paper_claim=module.PAPER_CLAIM,
+                parallelizable="jobs" in params,
+            )
+        )
+    return out
 
 
 def get_runner(experiment_id: str) -> Callable[..., ExperimentResult]:
@@ -49,7 +103,25 @@ def get_runner(experiment_id: str) -> Callable[..., ExperimentResult]:
 
 
 def run_experiment(
-    experiment_id: str, *, quick: bool = True, seed: int = 0
+    experiment_id: str,
+    *,
+    quick: bool = True,
+    seed: int = 0,
+    jobs: int = 1,
+    cache: "SweepCache | None" = None,
 ) -> ExperimentResult:
-    """Run one experiment by id."""
-    return get_runner(experiment_id)(quick=quick, seed=seed)
+    """Run one experiment by id.
+
+    ``jobs`` and ``cache`` reach the experiments whose grids run through
+    the sweep scheduler (see :func:`experiment_metadata`); experiments
+    without a sweep-shaped loop silently ignore them, so callers can
+    pass both unconditionally.
+    """
+    runner = get_runner(experiment_id)
+    kwargs: dict = {"quick": quick, "seed": seed}
+    params = inspect.signature(runner).parameters
+    if "jobs" in params:
+        kwargs["jobs"] = jobs
+    if "cache" in params:
+        kwargs["cache"] = cache
+    return runner(**kwargs)

@@ -8,6 +8,7 @@ point: list experiments, run them, write reports.
 """
 
 from repro.io.results import (
+    ensemble_from_dict,
     ensemble_to_dict,
     load_results,
     result_from_dict,
@@ -19,6 +20,7 @@ __all__ = [
     "result_to_dict",
     "result_from_dict",
     "ensemble_to_dict",
+    "ensemble_from_dict",
     "save_results",
     "load_results",
 ]

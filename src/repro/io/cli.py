@@ -10,20 +10,34 @@ Subcommands
 ``report``
     Regenerate EXPERIMENTS.md (thin wrapper over
     :mod:`repro.harness.report`).
+``sweep``
+    Run an ad-hoc declarative grid — hosts × sizes × biases × protocols —
+    through the sweep scheduler and print the per-point summaries.
 ``demo``
     The quickstart: one Best-of-Three run on a dense host with the
     Theorem 1 certificate.
+
+``run``, ``report``, and ``sweep`` all accept ``--jobs N`` (worker
+processes for sweep grids) and share the content-addressed result cache
+(``~/.cache/repro-sweeps`` by default; redirect with ``--cache-dir``,
+disable with ``--no-cache``).  Re-running any of them with the same
+parameters and library version skips the already-simulated points.
 """
 
 from __future__ import annotations
 
 import argparse
-import importlib
 import sys
 
 from repro._version import __version__
 
 __all__ = ["build_parser", "main"]
+
+
+def _add_sweep_controls(parser: argparse.ArgumentParser) -> None:
+    from repro.sweeps import add_sweep_arguments
+
+    add_sweep_arguments(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,11 +55,57 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--full", action="store_true", help="full sweep sizes")
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--save", metavar="PATH", help="archive results as JSON")
+    _add_sweep_controls(run_p)
 
     rep_p = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     rep_p.add_argument("--full", action="store_true")
     rep_p.add_argument("--seed", type=int, default=0)
     rep_p.add_argument("--out", default="EXPERIMENTS.md")
+    _add_sweep_controls(rep_p)
+
+    swp_p = sub.add_parser(
+        "sweep", help="run a declarative host/bias/protocol grid"
+    )
+    swp_p.add_argument(
+        "--host",
+        default="complete",
+        choices=["complete", "rook", "erdos-renyi", "random-regular", "ring-lattice"],
+        help="host graph family (default: complete)",
+    )
+    swp_p.add_argument(
+        "--n",
+        type=int,
+        nargs="+",
+        default=[4096],
+        help="host sizes in vertices (rook uses the nearest square side)",
+    )
+    swp_p.add_argument(
+        "--delta",
+        type=float,
+        nargs="+",
+        default=[0.1],
+        help="initial bias values (i.i.d. opinions with P[blue] = 1/2 - delta)",
+    )
+    swp_p.add_argument(
+        "--protocol",
+        nargs="+",
+        default=["best-of-3"],
+        help="protocols: voter, best-of-K, best-of-K-keep, best-of-K-rand",
+    )
+    swp_p.add_argument(
+        "--er-p", type=float, default=0.25, help="edge probability for erdos-renyi"
+    )
+    swp_p.add_argument(
+        "--degree",
+        type=int,
+        default=16,
+        help="degree for random-regular / ring-lattice hosts",
+    )
+    swp_p.add_argument("--trials", type=int, default=10)
+    swp_p.add_argument("--max-steps", type=int, default=2000)
+    swp_p.add_argument("--seed", type=int, default=0)
+    swp_p.add_argument("--save", metavar="PATH", help="archive the sweep as JSON")
+    _add_sweep_controls(swp_p)
 
     demo_p = sub.add_parser("demo", help="one Best-of-Three run, end to end")
     demo_p.add_argument("--n", type=int, default=100_000)
@@ -54,13 +114,19 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_list() -> int:
-    from repro.harness.registry import _MODULES, all_experiment_ids
+def _make_cache(args: argparse.Namespace):
+    """The shared sweep cache the flags describe (or ``None``)."""
+    from repro.sweeps import cache_from_args
 
-    for eid in all_experiment_ids():
-        mod = importlib.import_module(_MODULES[eid])
-        print(f"{eid:>4}  {mod.TITLE}")
-        print(f"      {mod.PAPER_CLAIM[:100]}...")
+    return cache_from_args(args)
+
+
+def _cmd_list() -> int:
+    from repro.harness.registry import experiment_metadata
+
+    for meta in experiment_metadata():
+        print(f"{meta.experiment_id:>4}  {meta.title}")
+        print(f"      {meta.paper_claim[:100]}...")
     return 0
 
 
@@ -68,10 +134,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.harness.registry import run_experiment
     from repro.io.results import save_results
 
+    cache = _make_cache(args)
     results = []
     failures = 0
     for eid in args.ids:
-        res = run_experiment(eid, quick=not args.full, seed=args.seed)
+        res = run_experiment(
+            eid, quick=not args.full, seed=args.seed, jobs=args.jobs, cache=cache
+        )
         results.append(res)
         print(res.to_markdown())
         failures += not res.passed
@@ -82,12 +151,141 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    # Delegate so the cache-construction + render + write sequence lives
+    # once, in report.main (also reachable as python -m repro.harness.report).
     from repro.harness.report import main as report_main
 
-    argv = ["--seed", str(args.seed), "--out", args.out]
+    argv = ["--seed", str(args.seed), "--out", args.out, "--jobs", str(args.jobs)]
     if args.full:
         argv.append("--full")
+    if args.cache_dir:
+        argv.extend(["--cache-dir", args.cache_dir])
+    if args.no_cache:
+        argv.append("--no-cache")
     return report_main(argv)
+
+
+def _parse_protocol(name: str):
+    """Map a CLI protocol name to a :class:`ProtocolSpec`."""
+    from repro.sweeps import ProtocolSpec
+
+    if name == "voter":
+        return ProtocolSpec.best_of(1)
+    parts = name.split("-")
+    # best-of-K, best-of-K-keep, best-of-K-rand
+    if len(parts) in (3, 4) and parts[:2] == ["best", "of"] and parts[2].isdigit():
+        k = int(parts[2])
+        tie = "keep_self"
+        if len(parts) == 4:
+            if parts[3] not in ("keep", "rand"):
+                raise ValueError(f"unknown tie-rule suffix in {name!r}")
+            tie = "keep_self" if parts[3] == "keep" else "random"
+        return ProtocolSpec.best_of(k, tie_rule=tie)
+    raise ValueError(
+        f"cannot parse protocol {name!r} (try voter, best-of-3, best-of-2-rand)"
+    )
+
+
+def _host_spec(family: str, n: int, args: argparse.Namespace):
+    from repro.sweeps import HostSpec
+
+    if family == "complete":
+        return HostSpec.of("complete", n=n)
+    if family == "rook":
+        side = max(2, round(n**0.5))
+        return HostSpec.of("rook", side=side)
+    if family == "erdos-renyi":
+        return HostSpec.of("erdos_renyi", n=n, p=args.er_p, seed=(args.seed, 99))
+    if family == "random-regular":
+        return HostSpec.of("random_regular", n=n, d=args.degree, seed=(args.seed, 99))
+    if family == "ring-lattice":
+        return HostSpec.of("ring_lattice", n=n, d=args.degree)
+    raise ValueError(f"unknown host family {family!r}")  # pragma: no cover
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.tables import format_table
+    from repro.io.results import ensemble_to_dict
+    from repro.sweeps import (
+        InitSpec,
+        SweepSpec,
+        canonical_point,
+        point_key,
+        run_sweep,
+    )
+
+    cache = _make_cache(args)
+    try:
+        # Spec validation (protocol names, delta range, trial counts)
+        # rejects bad input before any simulation; host params that only
+        # the graph constructors check (edge probabilities, degree
+        # parities) surface from the sweep itself.  Either way the user
+        # gets a clean message, not a traceback.
+        spec = SweepSpec.grid(
+            "cli_sweep",
+            hosts=[_host_spec(args.host, n, args) for n in args.n],
+            protocols=[_parse_protocol(p) for p in args.protocol],
+            inits=[InitSpec.iid(d) for d in args.delta],
+            trials=args.trials,
+            max_steps=args.max_steps,
+            seed=args.seed,
+        )
+        outcome = run_sweep(spec, jobs=args.jobs, cache=cache)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    columns = [
+        "point",
+        "trials",
+        "converged",
+        "red wins",
+        "mean T",
+        "median T",
+        "max T",
+    ]
+    rows = [
+        {
+            "point": point.label,
+            "trials": ens.trials,
+            "converged": ens.converged,
+            "red wins": ens.red_wins,
+            "mean T": ens.mean_steps,
+            "median T": ens.median_steps,
+            "max T": ens.max_steps,
+        }
+        for point, ens in outcome
+    ]
+    print(format_table(columns, rows))
+    st = outcome.stats
+    where = str(cache.root) if cache is not None else "off"
+    print(
+        f"\n{st.points} point(s): {st.hits} cached, {st.misses} computed "
+        f"in {st.elapsed_s:.2f}s with jobs={st.jobs} (cache: {where})"
+    )
+
+    if args.save:
+        archive = {
+            "schema": "repro.sweep_archive/1",
+            "library_version": __version__,
+            "name": spec.name,
+            "points": [
+                {
+                    "key": point_key(point),
+                    "label": point.label,
+                    "point": canonical_point(point),
+                    "payload": ensemble_to_dict(ens),
+                }
+                for point, ens in outcome
+            ],
+        }
+        with open(args.save, "w", encoding="utf-8") as fh:
+            json.dump(archive, fh, indent=2)
+            fh.write("\n")
+        print(f"archived {len(spec)} point(s) to {args.save}")
+    return 0
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -114,6 +312,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "demo":
         return _cmd_demo(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

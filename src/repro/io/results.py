@@ -23,6 +23,7 @@ __all__ = [
     "result_to_dict",
     "result_from_dict",
     "ensemble_to_dict",
+    "ensemble_from_dict",
     "save_results",
     "load_results",
 ]
@@ -102,6 +103,31 @@ def ensemble_to_dict(ensemble: ConsensusEnsemble) -> dict[str, Any]:
         "mean_steps": None if np.isnan(ensemble.mean_steps) else ensemble.mean_steps,
         "max_steps": ensemble.max_steps,
     }
+
+
+def ensemble_from_dict(payload: dict[str, Any]) -> ConsensusEnsemble:
+    """Rebuild a :class:`ConsensusEnsemble` from :func:`ensemble_to_dict` output.
+
+    The derived fields the dict carries for human inspection (win rates,
+    step statistics) are recomputed from the per-trial arrays, so a
+    round-trip is exact and tampered summaries cannot disagree with the
+    data they summarise.
+
+    Raises
+    ------
+    ValueError
+        If the payload does not carry the expected schema marker.
+    """
+    if payload.get("schema") != "repro.consensus_ensemble/1":
+        raise ValueError(
+            f"unrecognised payload schema {payload.get('schema')!r}"
+        )
+    return ConsensusEnsemble(
+        trials=int(payload["trials"]),
+        steps=np.asarray(payload["steps"], dtype=np.int64),
+        winners=np.asarray(payload["winners"], dtype=np.int64),
+        unconverged=int(payload["unconverged"]),
+    )
 
 
 def save_results(

@@ -1,0 +1,72 @@
+"""Sweep orchestration: declarative grids, multiprocess scheduling, and
+a content-addressed result cache.
+
+The three layers (DESIGN.md §2.4):
+
+* :mod:`repro.sweeps.spec` — :class:`SweepSpec` / :class:`Point`: pure-
+  data descriptions of ensemble grids (host × protocol × init × seed);
+* :mod:`repro.sweeps.scheduler` — :func:`run_sweep`: executes a spec
+  inline or over a process pool, bit-identical either way;
+* :mod:`repro.sweeps.cache` — :class:`SweepCache`: self-verifying
+  on-disk entries keyed by point content + library version, giving warm
+  re-runs and resumable partial sweeps for free.
+
+Quickstart::
+
+    from repro.sweeps import (
+        HostSpec, InitSpec, ProtocolSpec, SweepCache, SweepSpec, run_sweep,
+    )
+
+    spec = SweepSpec.grid(
+        "demo",
+        hosts=[HostSpec.of("complete", n=n) for n in (2**10, 2**12)],
+        protocols=[ProtocolSpec.best_of(3)],
+        inits=[InitSpec.iid(d) for d in (0.1, 0.05)],
+        trials=20,
+        max_steps=500,
+        seed=0,
+    )
+    outcome = run_sweep(spec, jobs=4, cache=SweepCache())
+    for point, ens in outcome:
+        print(point.label, ens.mean_steps)
+"""
+
+from repro.sweeps.cache import SweepCache, default_cache_dir, point_key
+from repro.sweeps.runner import build_host, execute_point, host_families
+from repro.sweeps.scheduler import (
+    SweepOutcome,
+    SweepStats,
+    add_sweep_arguments,
+    cache_from_args,
+    run_sweep,
+)
+from repro.sweeps.spec import (
+    HostSpec,
+    InitSpec,
+    Point,
+    ProtocolSpec,
+    SweepSpec,
+    canonical_point,
+    derive_point_seed,
+)
+
+__all__ = [
+    "HostSpec",
+    "ProtocolSpec",
+    "InitSpec",
+    "Point",
+    "SweepSpec",
+    "canonical_point",
+    "derive_point_seed",
+    "SweepCache",
+    "default_cache_dir",
+    "point_key",
+    "build_host",
+    "execute_point",
+    "host_families",
+    "SweepOutcome",
+    "SweepStats",
+    "run_sweep",
+    "add_sweep_arguments",
+    "cache_from_args",
+]

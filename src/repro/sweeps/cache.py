@@ -1,0 +1,172 @@
+"""Content-addressed on-disk cache for sweep points.
+
+Each executed point is stored as one JSON file whose name is the SHA-256
+of the point's canonical content, the library version, and a fingerprint
+of the ``repro`` source tree + numpy version — so a cache hit is, by
+construction, the result of simulating *exactly* this point with
+*exactly* this code line.  Editing any library source file (or bumping
+``repro.__version__``, or changing numpy) therefore invalidates every
+entry without any migration logic, which is the right default for a
+reproduction whose numbers are the product.
+
+Entries are self-verifying: the payload's own SHA-256 is stored next to
+it, and :meth:`SweepCache.get` re-derives it on read.  Anything wrong —
+unparsable JSON, a foreign schema, a key that does not match the
+requesting point, a digest mismatch — is treated as a miss and the point
+is recomputed; a corrupted file can slow a sweep down but can never feed
+it wrong numbers.  Writes go through a temp file + :func:`os.replace`
+so a killed sweep leaves only complete entries behind, which is what
+makes partially-finished sweeps resumable: re-running the same spec
+skips every point that already landed.
+
+The default location is ``~/.cache/repro-sweeps`` (override with the
+``REPRO_SWEEP_CACHE`` environment variable or an explicit ``root``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import warnings
+from functools import lru_cache
+from pathlib import Path
+
+import repro._version
+from repro.analysis.experiments import ConsensusEnsemble
+from repro.io.results import ensemble_from_dict, ensemble_to_dict
+from repro.sweeps.spec import Point, canonical_json, canonical_point
+
+__all__ = ["SweepCache", "default_cache_dir", "point_key"]
+
+ENTRY_SCHEMA = "repro.sweep_cache/1"
+CACHE_ENV_VAR = "REPRO_SWEEP_CACHE"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_SWEEP_CACHE`` if set, else ``~/.cache/repro-sweeps``."""
+    env = os.environ.get(CACHE_ENV_VAR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-sweeps"
+
+
+@lru_cache(maxsize=1)
+def _code_fingerprint() -> str:
+    """SHA-256 of the installed ``repro`` source tree + the numpy version.
+
+    Folding this into every cache key means *any* edit to simulation
+    code — the normal state between version bumps — invalidates the
+    cache, as does switching to a numpy whose random streams may
+    differ.  Without it, a developer iterating on the engine would see
+    EXPERIMENTS.md regenerated from results the current code no longer
+    produces.  Computed once per process (~1 MB of source hashed).
+    """
+    import numpy
+
+    import repro
+
+    digest = hashlib.sha256()
+    digest.update(f"numpy={numpy.__version__}\n".encode("ascii"))
+    root = Path(repro.__file__).resolve().parent
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def point_key(point: Point) -> str:
+    """SHA-256 content address of *point* under the current code line.
+
+    The key covers the point's canonical content, the declared library
+    version, and :func:`_code_fingerprint` — a hit can only ever be the
+    output of simulating exactly this point with exactly this code.
+    """
+    body = canonical_json(
+        {
+            "library_version": repro._version.__version__,
+            "code_fingerprint": _code_fingerprint(),
+            "point": canonical_point(point),
+        }
+    )
+    return hashlib.sha256(body.encode("ascii")).hexdigest()
+
+
+def _payload_digest(payload: dict) -> str:
+    return hashlib.sha256(canonical_json(payload).encode("ascii")).hexdigest()
+
+
+class SweepCache:
+    """Filesystem cache mapping points to ensemble summaries."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self._write_warned = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SweepCache({str(self.root)!r})"
+
+    def path_for(self, point: Point) -> Path:
+        """Where *point*'s entry lives (two-level fan-out by key prefix)."""
+        key = point_key(point)
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, point: Point) -> ConsensusEnsemble | None:
+        """The cached ensemble for *point*, or ``None`` on miss/corruption."""
+        path = self.path_for(point)
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict) or entry.get("schema") != ENTRY_SCHEMA:
+            return None
+        if entry.get("key") != point_key(point):
+            return None
+        payload = entry.get("payload")
+        if not isinstance(payload, dict):
+            return None
+        if entry.get("payload_sha256") != _payload_digest(payload):
+            return None
+        try:
+            return ensemble_from_dict(payload)
+        except (KeyError, ValueError, TypeError):
+            return None
+
+    def put(self, point: Point, ensemble: ConsensusEnsemble) -> Path | None:
+        """Store *ensemble* for *point* atomically; returns the entry path.
+
+        Best-effort, like :meth:`get`: an unwritable cache (read-only
+        home, full disk) must never lose a simulation that already
+        succeeded, so write failures warn once and return ``None`` —
+        the sweep simply runs uncached.
+        """
+        path = self.path_for(point)
+        payload = ensemble_to_dict(ensemble)
+        entry = {
+            "schema": ENTRY_SCHEMA,
+            "key": point_key(point),
+            "library_version": repro._version.__version__,
+            "point": canonical_point(point),
+            "payload": payload,
+            "payload_sha256": _payload_digest(payload),
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+            tmp.write_text(
+                json.dumps(entry, sort_keys=True, indent=1) + "\n",
+                encoding="utf-8",
+            )
+            os.replace(tmp, path)
+        except OSError as exc:
+            if not self._write_warned:
+                self._write_warned = True
+                warnings.warn(
+                    f"sweep cache at {self.root} is not writable ({exc}); "
+                    "results will not be cached",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return None
+        return path

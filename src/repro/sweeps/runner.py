@@ -1,0 +1,130 @@
+"""Point execution: map a declarative :class:`~repro.sweeps.spec.Point`
+to an actual ensemble simulation.
+
+This module owns the name → code registries (host families, protocols,
+initialisers) so that points stay pure data.  ``execute_point`` is a
+module-level function, picklable by reference, which is what the
+scheduler ships to worker processes.
+
+Host graphs are memoised per process: a sweep typically holds many
+points on the same host (protocol or bias axes), and rebuilding a
+random-regular or Erdős–Rényi host per point would dominate small
+ensembles.  The memo is keyed by the frozen :class:`HostSpec`, so two
+points naming the same family + params (including the generator seed)
+share one graph object — exactly the quenched-host convention the
+pre-sweep experiment loops used.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable
+
+from repro.analysis.experiments import ConsensusEnsemble, run_consensus_ensemble
+from repro.core.dynamics import BestOfKDynamics, TieRule
+from repro.core.ensemble import run_ensemble
+from repro.graphs.base import Graph
+from repro.graphs.generators import (
+    erdos_renyi,
+    random_regular,
+    ring_lattice,
+    star_polluted,
+)
+from repro.graphs.implicit import CompleteGraph, RookGraph
+from repro.sweeps.spec import HostSpec, Point
+
+__all__ = ["build_host", "execute_point", "host_families"]
+
+
+def _require_seed(params: dict, family: str):
+    """Randomised families must carry an explicit generator seed.
+
+    A ``None`` seed would draw the host from OS entropy *per process* —
+    each worker would memoise a different graph, breaking both the
+    jobs-invariance guarantee and the cache (whose key could no longer
+    determine the graph it labels).
+    """
+    try:
+        return params["seed"]
+    except KeyError:
+        raise ValueError(
+            f"host family {family!r} is randomised; HostSpec needs an "
+            "explicit seed param (e.g. HostSpec.of"
+            f"({family!r}, ..., seed=(0, 1)))"
+        ) from None
+
+
+_HOST_BUILDERS: dict[str, Callable[[dict], Graph]] = {
+    "complete": lambda p: CompleteGraph(p["n"]),
+    "rook": lambda p: RookGraph(p["side"]),
+    "erdos_renyi": lambda p: erdos_renyi(
+        p["n"], p["p"], seed=_require_seed(p, "erdos_renyi")
+    ),
+    "random_regular": lambda p: random_regular(
+        p["n"], p["d"], seed=_require_seed(p, "random_regular")
+    ),
+    "ring_lattice": lambda p: ring_lattice(p["n"], p["d"]),
+    "star_polluted": lambda p: star_polluted(p["core"], p["pendants"]),
+}
+
+
+def host_families() -> list[str]:
+    """Names accepted by :attr:`HostSpec.family`."""
+    return sorted(_HOST_BUILDERS)
+
+
+@lru_cache(maxsize=8)
+def _build_host_cached(host: HostSpec) -> Graph:
+    try:
+        builder = _HOST_BUILDERS[host.family]
+    except KeyError:
+        raise ValueError(
+            f"unknown host family {host.family!r}; known: "
+            f"{', '.join(host_families())}"
+        ) from None
+    return builder(host.param_dict())
+
+
+def build_host(host: HostSpec) -> Graph:
+    """Construct (or fetch the memoised) host graph for *host*."""
+    return _build_host_cached(host)
+
+
+def execute_point(point: Point) -> ConsensusEnsemble:
+    """Run the ensemble a point describes and summarise it.
+
+    The randomness contract matches the pre-sweep harness loops exactly:
+    ``point.seed`` goes verbatim into the engine as the root entropy, so
+    a rewired experiment reproduces its historical tables bit-for-bit.
+    """
+    graph = build_host(point.host)
+    tie = TieRule(point.protocol.tie_rule)
+    k = point.protocol.k
+
+    if point.init.kind == "iid_delta":
+
+        def factory(g: Graph) -> BestOfKDynamics:
+            return BestOfKDynamics(g, k=k, tie_rule=tie)
+
+        return run_consensus_ensemble(
+            graph,
+            trials=point.trials,
+            delta=point.init.delta,
+            seed=point.seed,
+            dynamics_factory=factory,
+            max_steps=point.max_steps,
+        )
+
+    # exact_count: conditioned starts go straight through the batched
+    # engine (uniform placement per trial from spawned streams).
+    ens = run_ensemble(
+        graph,
+        replicas=point.trials,
+        k=k,
+        tie_rule=tie,
+        seed=point.seed,
+        max_steps=point.max_steps,
+        initial_blue_counts=point.init.blue,
+        record_trajectories=False,
+    )
+    return ConsensusEnsemble.from_ensemble_result(ens)

@@ -1,0 +1,178 @@
+"""Sweep execution: cache probe, then fan-out over worker processes.
+
+``run_sweep`` is the one entry point.  It resolves every point of a
+:class:`~repro.sweeps.spec.SweepSpec` in order:
+
+1. probe the cache (when given) for each point — hits cost one JSON read;
+2. execute the misses, inline for ``jobs <= 1`` or over a
+   :class:`~concurrent.futures.ProcessPoolExecutor` otherwise;
+3. write each freshly computed result back to the cache *as it lands*,
+   so an interrupted sweep resumes from its last completed point.
+
+Results come back aligned with ``spec.points`` regardless of completion
+order, and the returned stats record the hit/miss split the acceptance
+bench and the CLI report.  Worker processes recompute nothing the parent
+already has: points are plain data, the worker function is imported by
+reference, and host graphs are memoised per process
+(:mod:`repro.sweeps.runner`).
+
+Determinism: parallelism changes *where* a point runs, never its
+randomness — every point carries its own seed tuple, so ``jobs=8``
+produces bit-identical ensembles to ``jobs=1``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+
+from repro.analysis.experiments import ConsensusEnsemble
+from repro.sweeps.cache import SweepCache
+from repro.sweeps.runner import execute_point
+from repro.sweeps.spec import Point, SweepSpec
+
+__all__ = [
+    "SweepStats",
+    "SweepOutcome",
+    "run_sweep",
+    "add_sweep_arguments",
+    "cache_from_args",
+]
+
+
+def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the shared ``--jobs`` / ``--cache-dir`` / ``--no-cache`` flags.
+
+    Every CLI that runs sweeps (``repro run/report/sweep``, the
+    standalone ``python -m repro.harness.report``) takes the same three
+    controls; defining them once keeps the entry points from drifting.
+    """
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep grids (default: 1, inline)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="sweep cache directory (default: ~/.cache/repro-sweeps)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the sweep result cache"
+    )
+
+
+def cache_from_args(args: argparse.Namespace) -> SweepCache | None:
+    """The cache those flags describe (``None`` when disabled)."""
+    return None if args.no_cache else SweepCache(args.cache_dir)
+
+
+@dataclass(frozen=True)
+class SweepStats:
+    """Execution accounting for one ``run_sweep`` call."""
+
+    points: int
+    hits: int
+    misses: int
+    jobs: int
+    elapsed_s: float
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of points served from cache (0.0 when empty)."""
+        return self.hits / self.points if self.points else 0.0
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """Ensembles aligned with ``spec.points`` plus execution stats."""
+
+    spec: SweepSpec
+    ensembles: tuple[ConsensusEnsemble, ...]
+    stats: SweepStats
+
+    def __iter__(self):
+        """Iterate ``(point, ensemble)`` pairs in declaration order."""
+        return iter(zip(self.spec.points, self.ensembles))
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    jobs: int = 1,
+    cache: SweepCache | None = None,
+) -> SweepOutcome:
+    """Execute every point of *spec* and return aligned results.
+
+    Parameters
+    ----------
+    spec:
+        The declarative grid.
+    jobs:
+        Worker processes for the cache-missing points.  ``jobs <= 1``
+        runs inline (no pool, no pickling) — the default keeps harness
+        behaviour and cost identical to the pre-sweep loops.
+    cache:
+        Optional :class:`SweepCache`.  Hits skip simulation entirely;
+        misses are recomputed and stored.  ``None`` disables caching.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    start = time.perf_counter()
+    results: list[ConsensusEnsemble | None] = [None] * len(spec.points)
+
+    pending: list[int] = []
+    hits = 0
+    for idx, point in enumerate(spec.points):
+        cached = cache.get(point) if cache is not None else None
+        if cached is not None:
+            results[idx] = cached
+            hits += 1
+        else:
+            pending.append(idx)
+
+    def _store(idx: int, ensemble: ConsensusEnsemble) -> None:
+        results[idx] = ensemble
+        if cache is not None:
+            cache.put(spec.points[idx], ensemble)
+
+    if jobs <= 1 or len(pending) <= 1:
+        for idx in pending:
+            _store(idx, execute_point(spec.points[idx]))
+    else:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
+        futures: dict = {}  # populated incrementally; read by the except path
+        try:
+            for idx in pending:
+                futures[pool.submit(execute_point, spec.points[idx])] = idx
+            # Store each result the moment it lands so a sweep killed
+            # midway resumes from its last completed point.
+            for fut in as_completed(futures):
+                _store(futures[fut], fut.result())
+        except BaseException:
+            # Don't block a Ctrl-C (or a failed worker) on in-flight
+            # points: drop the queue and return without waiting — but
+            # first bank every point that did finish, so the re-run
+            # resumes instead of recomputing them.
+            pool.shutdown(wait=False, cancel_futures=True)
+            for fut, idx in futures.items():
+                if fut.done() and not fut.cancelled() and fut.exception() is None:
+                    _store(idx, fut.result())
+            raise
+        pool.shutdown(wait=True)
+
+    stats = SweepStats(
+        points=len(spec.points),
+        hits=hits,
+        misses=len(pending),
+        jobs=jobs,
+        elapsed_s=time.perf_counter() - start,
+    )
+    return SweepOutcome(
+        spec=spec,
+        ensembles=tuple(results),  # type: ignore[arg-type]
+        stats=stats,
+    )

@@ -1,0 +1,292 @@
+"""Declarative sweep grids: hosts × protocols × initial conditions.
+
+A *sweep* is the unit of experiment-scale work in this library: a list
+of fully-described simulation **points**, each of which can be executed
+anywhere (inline, in a worker process, on another machine) and cached by
+content.  The harness experiments declare their grids as
+:class:`SweepSpec` values instead of hand-rolled nested loops, which is
+what lets the scheduler fan them out over processes and the cache skip
+re-simulation of already-seen points.
+
+Everything in a :class:`Point` is plain data — strings, ints, floats,
+and tuples of ints — so points pickle cheaply across process boundaries
+and serialise canonically for content addressing.  Callables never cross
+the boundary: a point names its host family / protocol / initialiser and
+:mod:`repro.sweeps.runner` owns the mapping from names to code.
+
+Seed policy
+-----------
+A point's ``seed`` tuple is fed verbatim to the engine as a
+:class:`numpy.random.SeedSequence` entropy pool (the library-wide
+convention from :mod:`repro.util.rng`).  Explicit seeds keep the rewired
+harness experiments bit-identical to their pre-sweep loops; grids built
+with :meth:`SweepSpec.grid` derive a per-point seed deterministically
+from the root seed and the point's own content hash
+(:func:`derive_point_seed`), so adding, removing, or reordering points
+never shifts the randomness of their neighbours.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = [
+    "HostSpec",
+    "ProtocolSpec",
+    "InitSpec",
+    "Point",
+    "SweepSpec",
+    "canonical_point",
+    "canonical_json",
+    "derive_point_seed",
+]
+
+_SCALAR_TYPES = (str, int, float, bool)
+
+
+def _freeze_param(value: Any) -> Any:
+    """Normalise a host parameter into hashable, JSON-stable form."""
+    if isinstance(value, _SCALAR_TYPES) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        frozen = tuple(_freeze_param(v) for v in value)
+        if not all(isinstance(v, int) for v in frozen):
+            raise TypeError(f"sequence params must be ints (seeds), got {value!r}")
+        return frozen
+    raise TypeError(f"unsupported host param type {type(value).__name__}: {value!r}")
+
+
+def _thaw(value: Any) -> Any:
+    """Tuples back to lists for JSON emission."""
+    if isinstance(value, tuple):
+        return [_thaw(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """A host graph named by family + constructor parameters.
+
+    ``params`` is a sorted tuple of ``(name, value)`` pairs so the spec
+    is hashable and canonicalises deterministically.  Use
+    :meth:`HostSpec.of` rather than the raw constructor.
+    """
+
+    family: str
+    params: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def of(cls, family: str, **params: Any) -> "HostSpec":
+        frozen = tuple(
+            sorted((k, _freeze_param(v)) for k, v in params.items())
+        )
+        return cls(family=family, params=frozen)
+
+    def param_dict(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    def build(self):
+        """Construct the host graph (delegates to the runner registry)."""
+        from repro.sweeps.runner import build_host
+
+        return build_host(self)
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """The voting protocol at a point: Best-of-``k`` with a tie rule."""
+
+    kind: str = "best_of_k"
+    k: int = 3
+    tie_rule: str = "keep_self"  # TieRule value ("keep_self" | "random")
+
+    def __post_init__(self) -> None:
+        if self.kind != "best_of_k":
+            raise ValueError(f"unknown protocol kind {self.kind!r}")
+        if self.k < 1:
+            raise ValueError(f"protocol needs k >= 1, got {self.k}")
+        if self.tie_rule not in ("keep_self", "random"):
+            raise ValueError(f"unknown tie rule {self.tie_rule!r}")
+
+    @classmethod
+    def best_of(cls, k: int, *, tie_rule: str = "keep_self") -> "ProtocolSpec":
+        return cls(kind="best_of_k", k=k, tie_rule=tie_rule)
+
+
+@dataclass(frozen=True)
+class InitSpec:
+    """Initial opinions: i.i.d. with bias ``delta``, or an exact count."""
+
+    kind: str  # "iid_delta" | "exact_count"
+    delta: float | None = None
+    blue: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind == "iid_delta":
+            if self.delta is None or self.blue is not None:
+                raise ValueError("iid_delta init needs delta (and no blue)")
+            if not 0.0 <= self.delta <= 0.5:
+                # Same domain as repro.core.opinions.random_opinions —
+                # fail at declaration time, not mid-sweep in a worker.
+                raise ValueError(f"delta must be in [0, 0.5], got {self.delta}")
+        elif self.kind == "exact_count":
+            if self.blue is None or self.delta is not None:
+                raise ValueError("exact_count init needs blue (and no delta)")
+            if self.blue < 0:
+                raise ValueError(f"blue count must be >= 0, got {self.blue}")
+        else:
+            raise ValueError(f"unknown init kind {self.kind!r}")
+
+    @classmethod
+    def iid(cls, delta: float) -> "InitSpec":
+        return cls(kind="iid_delta", delta=float(delta))
+
+    @classmethod
+    def count(cls, blue: int) -> "InitSpec":
+        return cls(kind="exact_count", blue=int(blue))
+
+
+@dataclass(frozen=True)
+class Point:
+    """One fully-described ensemble simulation.
+
+    ``label`` is presentation-only and deliberately excluded from the
+    canonical form — renaming a point must not invalidate its cache
+    entry or change its derived seed.
+    """
+
+    host: HostSpec
+    protocol: ProtocolSpec
+    init: InitSpec
+    trials: int
+    max_steps: int
+    seed: tuple[int, ...]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise ValueError(f"trials must be >= 1, got {self.trials}")
+        if self.max_steps < 1:
+            raise ValueError(f"max_steps must be >= 1, got {self.max_steps}")
+        seed = (self.seed,) if isinstance(self.seed, int) else self.seed
+        object.__setattr__(self, "seed", tuple(int(s) for s in seed))
+
+
+def canonical_point(point: Point) -> dict[str, Any]:
+    """The content of *point* as a nested, JSON-native dict (no label)."""
+    init: dict[str, Any] = {"kind": point.init.kind}
+    if point.init.delta is not None:
+        init["delta"] = point.init.delta
+    if point.init.blue is not None:
+        init["blue"] = point.init.blue
+    return {
+        "host": {
+            "family": point.host.family,
+            "params": {k: _thaw(v) for k, v in point.host.params},
+        },
+        "protocol": {
+            "kind": point.protocol.kind,
+            "k": point.protocol.k,
+            "tie_rule": point.protocol.tie_rule,
+        },
+        "init": init,
+        "trials": point.trials,
+        "max_steps": point.max_steps,
+        "seed": list(point.seed),
+    }
+
+
+def canonical_json(payload: Mapping[str, Any]) -> str:
+    """Canonical JSON: sorted keys, no whitespace — the hashing form."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def derive_point_seed(root: int | Sequence[int], point: Point) -> tuple[int, ...]:
+    """Deterministic per-point seed tuple from a sweep root seed.
+
+    Hashes the point's canonical content *without* its seed field and
+    appends four 32-bit words of the digest to the root entropy.  Two
+    distinct points therefore get statistically independent streams, and
+    a point's stream is invariant to its position in the grid.
+    """
+    content = canonical_point(point)
+    del content["seed"]
+    digest = hashlib.sha256(canonical_json(content).encode("ascii")).digest()
+    words = tuple(
+        int.from_bytes(digest[4 * i : 4 * i + 4], "big") for i in range(4)
+    )
+    root_tuple = (root,) if isinstance(root, int) else tuple(int(r) for r in root)
+    return root_tuple + words
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named, ordered collection of points (the declarative grid)."""
+
+    name: str
+    points: tuple[Point, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "points", tuple(self.points))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @classmethod
+    def grid(
+        cls,
+        name: str,
+        *,
+        hosts: Iterable[HostSpec],
+        protocols: Iterable[ProtocolSpec],
+        inits: Iterable[InitSpec],
+        trials: int,
+        max_steps: int,
+        seed: int | Sequence[int] = 0,
+    ) -> "SweepSpec":
+        """Cartesian product ``hosts × protocols × inits`` with derived seeds.
+
+        Each point's seed comes from :func:`derive_point_seed`, so the
+        grid can be filtered or extended without perturbing the
+        randomness of the surviving points.  Duplicate axis values are
+        deduplicated: content-identical points carry identical derived
+        seeds, so a repeat would re-simulate the exact same ensemble and
+        masquerade as an independent replicate in the results.
+        """
+        points = []
+        seen: set[str] = set()
+        for host, protocol, init in itertools.product(hosts, protocols, inits):
+            draft = Point(
+                host=host,
+                protocol=protocol,
+                init=init,
+                trials=trials,
+                max_steps=max_steps,
+                seed=(),
+                label="",
+            )
+            bits = [host.family]
+            bits += [
+                f"{name}={value}"
+                for name, value in host.params
+                if name != "seed"  # sizes/degrees identify the host; seeds don't
+            ]
+            bits.append(f"k={protocol.k}/{protocol.tie_rule}")
+            bits.append(
+                f"delta={init.delta}" if init.kind == "iid_delta" else f"B0={init.blue}"
+            )
+            point = dataclasses.replace(
+                draft,
+                seed=derive_point_seed(seed, draft),
+                label=" ".join(bits),
+            )
+            content = canonical_json(canonical_point(point))
+            if content not in seen:
+                seen.add(content)
+                points.append(point)
+        return cls(name=name, points=tuple(points))

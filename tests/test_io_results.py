@@ -95,6 +95,30 @@ class TestEnsembleDict:
         d = ensemble_to_dict(ens)
         assert d["mean_steps"] is None
 
+    def test_ensemble_round_trip(self):
+        from repro.io.results import ensemble_from_dict
+
+        ens = run_consensus_ensemble(
+            CompleteGraph(256), trials=4, delta=0.2, seed=1
+        )
+        back = ensemble_from_dict(json.loads(json.dumps(ensemble_to_dict(ens))))
+        assert back.trials == ens.trials
+        assert back.unconverged == ens.unconverged
+        assert (back.steps == ens.steps).all()
+        assert (back.winners == ens.winners).all()
+        # Derived statistics recompute identically from the arrays.
+        assert back.red_wins == ens.red_wins
+        assert back.mean_steps == ens.mean_steps
+        assert back.max_steps == ens.max_steps
+        # And the inverse is exact: re-serialising gives the same dict.
+        assert ensemble_to_dict(back) == ensemble_to_dict(ens)
+
+    def test_ensemble_from_dict_rejects_foreign_schema(self):
+        from repro.io.results import ensemble_from_dict
+
+        with pytest.raises(ValueError, match="schema"):
+            ensemble_from_dict({"schema": "other/1"})
+
 
 class TestCli:
     def test_list(self, capsys):
@@ -126,7 +150,7 @@ class TestCli:
         with pytest.raises(SystemExit) as exc:
             main(["--version"])
         assert exc.value.code == 0
-        assert "repro 1.0.0" in capsys.readouterr().out
+        assert "repro 1.1.0" in capsys.readouterr().out
 
     def test_run_exit_code_on_failure(self, monkeypatch):
         from repro.io import cli
@@ -143,6 +167,6 @@ class TestCli:
         )
         monkeypatch.setattr(
             "repro.harness.registry.run_experiment",
-            lambda eid, quick=True, seed=0: failing,
+            lambda eid, **kwargs: failing,
         )
         assert cli.main(["run", "E7"]) == 1

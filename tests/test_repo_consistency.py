@@ -106,6 +106,7 @@ class TestPackagingSurface:
             "repro.extensions",
             "repro.harness",
             "repro.io",
+            "repro.sweeps",
             "repro.util",
         ):
             module = importlib.import_module(pkg)

@@ -1,0 +1,448 @@
+"""Tests for the sweep subsystem: spec model, scheduler, and cache.
+
+The cache-correctness battery is the load-bearing part (ISSUE 2): a
+cached payload must be byte-identical across runs of the same point, a
+hit must equal a cold run exactly, and a corrupted entry must be
+detected and recomputed — never trusted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+import repro._version
+from repro.analysis.experiments import ConsensusEnsemble
+from repro.sweeps import (
+    HostSpec,
+    InitSpec,
+    Point,
+    ProtocolSpec,
+    SweepCache,
+    SweepSpec,
+    canonical_point,
+    derive_point_seed,
+    execute_point,
+    point_key,
+    run_sweep,
+)
+from repro.sweeps.cache import default_cache_dir
+
+
+def _point(n=256, delta=0.2, trials=5, seed=(0, 1), label="p", k=3, tie="keep_self"):
+    return Point(
+        host=HostSpec.of("complete", n=n),
+        protocol=ProtocolSpec.best_of(k, tie_rule=tie),
+        init=InitSpec.iid(delta),
+        trials=trials,
+        max_steps=500,
+        seed=seed,
+        label=label,
+    )
+
+
+def _spec(name="test", **kwargs):
+    return SweepSpec(
+        name=name,
+        points=(
+            _point(n=128, seed=(0, 0), label="a", **kwargs),
+            _point(n=256, seed=(0, 1), label="b", **kwargs),
+            _point(n=256, delta=0.1, seed=(0, 2), label="c", **kwargs),
+        ),
+    )
+
+
+def _assert_ensembles_equal(a: ConsensusEnsemble, b: ConsensusEnsemble):
+    assert a.trials == b.trials
+    assert a.unconverged == b.unconverged
+    np.testing.assert_array_equal(a.steps, b.steps)
+    np.testing.assert_array_equal(a.winners, b.winners)
+
+
+class TestSpecModel:
+    def test_label_excluded_from_canonical_form(self):
+        a, b = _point(label="x"), _point(label="y")
+        assert canonical_point(a) == canonical_point(b)
+        assert point_key(a) == point_key(b)
+
+    def test_key_distinguishes_every_axis(self):
+        base = _point()
+        variants = [
+            _point(n=512),
+            _point(delta=0.1),
+            _point(trials=6),
+            _point(seed=(0, 2)),
+            _point(k=5),
+            _point(tie="random"),
+            dataclasses.replace(base, max_steps=501),
+        ]
+        keys = {point_key(p) for p in variants}
+        assert point_key(base) not in keys
+        assert len(keys) == len(variants)
+
+    def test_key_depends_on_library_version(self, monkeypatch):
+        before = point_key(_point())
+        monkeypatch.setattr(repro._version, "__version__", "0.0.0-test")
+        assert point_key(_point()) != before
+
+    def test_key_depends_on_source_fingerprint(self, monkeypatch):
+        # An edit anywhere in the repro source tree (simulated here by
+        # patching the fingerprint) must change every cache key, so a
+        # developer iterating on the engine never sees stale results.
+        from repro.sweeps import cache as cache_mod
+
+        before = point_key(_point())
+        monkeypatch.setattr(
+            cache_mod, "_code_fingerprint", lambda: "deadbeef" * 8
+        )
+        assert point_key(_point()) != before
+
+    def test_grid_cartesian_product_and_derived_seeds(self):
+        spec = SweepSpec.grid(
+            "g",
+            hosts=[HostSpec.of("complete", n=n) for n in (64, 128)],
+            protocols=[ProtocolSpec.best_of(3), ProtocolSpec.best_of(2)],
+            inits=[InitSpec.iid(0.1)],
+            trials=3,
+            max_steps=100,
+            seed=9,
+        )
+        assert len(spec) == 4
+        seeds = {p.seed for p in spec.points}
+        assert len(seeds) == 4  # independent per point
+        again = SweepSpec.grid(
+            "g",
+            hosts=[HostSpec.of("complete", n=n) for n in (64, 128)],
+            protocols=[ProtocolSpec.best_of(3), ProtocolSpec.best_of(2)],
+            inits=[InitSpec.iid(0.1)],
+            trials=3,
+            max_steps=100,
+            seed=9,
+        )
+        assert [p.seed for p in again.points] == [p.seed for p in spec.points]
+
+    def test_grid_dedupes_repeated_axis_values(self):
+        spec = SweepSpec.grid(
+            "dup",
+            hosts=[HostSpec.of("complete", n=64), HostSpec.of("complete", n=64)],
+            protocols=[ProtocolSpec.best_of(3)],
+            inits=[InitSpec.iid(0.1), InitSpec.iid(0.1), InitSpec.iid(0.2)],
+            trials=3,
+            max_steps=100,
+            seed=0,
+        )
+        # 2 × 1 × 3 = 6 raw combinations, but the duplicates would carry
+        # identical seeds (same content), i.e. fake replicates.
+        assert len(spec) == 2
+
+    def test_derived_seed_invariant_to_label_and_position(self):
+        p = _point(label="one")
+        q = _point(label="two")
+        assert derive_point_seed(5, p) == derive_point_seed(5, q)
+        assert derive_point_seed(5, p) != derive_point_seed(6, p)
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            ProtocolSpec.best_of(0)
+        with pytest.raises(ValueError):
+            ProtocolSpec.best_of(3, tie_rule="coin")
+        with pytest.raises(ValueError):
+            InitSpec(kind="iid_delta")  # missing delta
+        with pytest.raises(ValueError):
+            InitSpec(kind="exact_count", delta=0.1, blue=3)
+        with pytest.raises(ValueError):
+            _point(trials=0)
+
+    def test_init_ranges_validated_at_declaration(self):
+        # Out-of-domain inits must fail when the point is declared, not
+        # mid-sweep inside a worker process.
+        with pytest.raises(ValueError, match=r"\[0, 0.5\]"):
+            InitSpec.iid(0.7)
+        with pytest.raises(ValueError, match=r"\[0, 0.5\]"):
+            InitSpec.iid(-0.1)
+        with pytest.raises(ValueError, match=">= 0"):
+            InitSpec.count(-5)
+        assert InitSpec.iid(0.0).delta == 0.0
+        assert InitSpec.iid(0.5).delta == 0.5
+
+    def test_unknown_host_family_raises(self):
+        bad = dataclasses.replace(_point(), host=HostSpec.of("moebius", n=8))
+        with pytest.raises(ValueError, match="unknown host family"):
+            execute_point(bad)
+
+    def test_randomised_host_requires_explicit_seed(self):
+        # A seedless random host would be drawn from OS entropy per
+        # worker process, silently breaking jobs-invariance and caching.
+        from repro.sweeps import build_host
+
+        with pytest.raises(ValueError, match="explicit seed"):
+            build_host(HostSpec.of("erdos_renyi", n=64, p=0.2))
+        with pytest.raises(ValueError, match="explicit seed"):
+            build_host(HostSpec.of("random_regular", n=64, d=4))
+        g = build_host(HostSpec.of("erdos_renyi", n=64, p=0.2, seed=(1, 2)))
+        assert g.num_vertices == 64
+
+
+class TestScheduler:
+    def test_inline_matches_execute_point(self):
+        spec = _spec()
+        outcome = run_sweep(spec, jobs=1)
+        assert outcome.stats.misses == len(spec)
+        for point, ens in outcome:
+            _assert_ensembles_equal(ens, execute_point(point))
+
+    def test_parallel_matches_serial(self):
+        spec = _spec()
+        serial = run_sweep(spec, jobs=1)
+        parallel = run_sweep(spec, jobs=2)
+        for a, b in zip(serial.ensembles, parallel.ensembles):
+            _assert_ensembles_equal(a, b)
+
+    def test_results_aligned_with_points(self):
+        spec = _spec()
+        outcome = run_sweep(spec, jobs=2)
+        # Point "a" has n=128; its ensemble must sit at index 0 even if
+        # it finished after the larger points.
+        assert outcome.spec.points[0].label == "a"
+        assert outcome.ensembles[0].trials == spec.points[0].trials
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_sweep(_spec(), jobs=0)
+
+    def test_worker_failure_propagates_cleanly(self, tmp_path):
+        bad = dataclasses.replace(
+            _point(), host=HostSpec.of("erdos_renyi", n=64, p=0.2)  # seedless
+        )
+        spec = SweepSpec("s", (*_spec().points, bad))
+        with pytest.raises(ValueError, match="explicit seed"):
+            run_sweep(spec, jobs=2, cache=SweepCache(tmp_path))
+
+    def test_exact_count_init_runs(self):
+        point = dataclasses.replace(_point(), init=InitSpec.count(100))
+        ens = execute_point(point)
+        assert ens.trials == point.trials
+        assert ens.converged + ens.unconverged == point.trials
+
+
+class TestCacheCorrectness:
+    def test_hit_equals_cold_run(self, tmp_path):
+        spec = _spec()
+        cache = SweepCache(tmp_path)
+        cold = run_sweep(spec, cache=cache)
+        assert (cold.stats.hits, cold.stats.misses) == (0, len(spec))
+        warm = run_sweep(spec, cache=cache)
+        assert (warm.stats.hits, warm.stats.misses) == (len(spec), 0)
+        assert warm.stats.hit_rate == 1.0
+        for a, b in zip(cold.ensembles, warm.ensembles):
+            _assert_ensembles_equal(a, b)
+
+    def test_same_point_same_bytes(self, tmp_path):
+        point = _point()
+        c1 = SweepCache(tmp_path / "one")
+        c2 = SweepCache(tmp_path / "two")
+        run_sweep(SweepSpec("s", (point,)), cache=c1)
+        run_sweep(SweepSpec("s", (point,)), cache=c2)
+        b1 = c1.path_for(point).read_bytes()
+        b2 = c2.path_for(point).read_bytes()
+        assert b1 == b2
+
+    @pytest.mark.parametrize(
+        "corruption",
+        ["truncate", "garbage", "payload_tamper", "wrong_schema", "wrong_key"],
+    )
+    def test_corrupted_entry_recomputed_not_trusted(self, tmp_path, corruption):
+        point = _point()
+        spec = SweepSpec("s", (point,))
+        cache = SweepCache(tmp_path)
+        cold = run_sweep(spec, cache=cache)
+        path = cache.path_for(point)
+
+        entry = json.loads(path.read_text())
+        if corruption == "truncate":
+            path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 2])
+        elif corruption == "garbage":
+            path.write_text("not json at all{{{")
+        elif corruption == "payload_tamper":
+            # Flip a result without updating the digest: must be caught.
+            entry["payload"]["red_wins"] = entry["payload"]["red_wins"] + 1
+            entry["payload"]["winners"] = entry["payload"]["winners"][::-1]
+            path.write_text(json.dumps(entry))
+        elif corruption == "wrong_schema":
+            entry["schema"] = "someone.else/9"
+            path.write_text(json.dumps(entry))
+        elif corruption == "wrong_key":
+            entry["key"] = "0" * 64
+            path.write_text(json.dumps(entry))
+
+        assert cache.get(point) is None  # corruption detected, not trusted
+        again = run_sweep(spec, cache=cache)
+        assert again.stats.misses == 1  # recomputed...
+        _assert_ensembles_equal(again.ensembles[0], cold.ensembles[0])
+        # ...and the entry healed: next read is a clean hit.
+        healed = run_sweep(spec, cache=cache)
+        assert healed.stats.hits == 1
+
+    def test_version_bump_invalidates(self, tmp_path, monkeypatch):
+        point = _point()
+        cache = SweepCache(tmp_path)
+        run_sweep(SweepSpec("s", (point,)), cache=cache)
+        monkeypatch.setattr(repro._version, "__version__", "0.0.0-test")
+        assert cache.get(point) is None
+
+    def test_interrupted_sweep_resumes(self, tmp_path):
+        # Simulate a partial sweep: only the first point is cached.
+        spec = _spec()
+        cache = SweepCache(tmp_path)
+        cache.put(spec.points[0], execute_point(spec.points[0]))
+        outcome = run_sweep(spec, cache=cache)
+        assert outcome.stats.hits == 1
+        assert outcome.stats.misses == len(spec) - 1
+
+    def test_unwritable_cache_degrades_gracefully(self, tmp_path):
+        # A cache rooted through a regular file cannot be written (works
+        # even as root, unlike chmod): the sweep must keep its computed
+        # results and warn once, never crash.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory")
+        spec = _spec()
+        with pytest.warns(RuntimeWarning, match="not writable"):
+            outcome = run_sweep(spec, cache=SweepCache(blocker))
+        assert outcome.stats.misses == len(spec)
+        assert all(e is not None for e in outcome.ensembles)
+
+    def test_default_dir_honours_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path / "envcache"))
+        assert default_cache_dir() == tmp_path / "envcache"
+        monkeypatch.delenv("REPRO_SWEEP_CACHE")
+        assert default_cache_dir().name == "repro-sweeps"
+
+
+class TestHarnessIntegration:
+    def test_e02_jobs_and_cache_equivalent_to_serial(self, tmp_path):
+        from repro.harness.registry import run_experiment
+
+        serial = run_experiment("E2", quick=True, seed=0)
+        cache = SweepCache(tmp_path)
+        parallel = run_experiment("E2", quick=True, seed=0, jobs=2, cache=cache)
+        assert list(parallel.rows) == list(serial.rows)
+        assert parallel.verdict == serial.verdict
+        warm = run_experiment("E2", quick=True, seed=0, jobs=2, cache=cache)
+        assert list(warm.rows) == list(serial.rows)
+
+    def test_unconverted_experiment_ignores_jobs(self):
+        from repro.harness.registry import run_experiment
+
+        res = run_experiment("E5", quick=True, seed=0, jobs=4)
+        assert res.experiment_id == "E5"
+
+    def test_experiment_metadata_accessor(self):
+        from repro.harness.registry import experiment_metadata
+
+        metas = experiment_metadata()
+        assert [m.experiment_id for m in metas] == [f"E{i}" for i in range(1, 17)]
+        by_id = {m.experiment_id: m for m in metas}
+        assert by_id["E1"].parallelizable
+        assert not by_id["E5"].parallelizable
+        assert all(m.title and m.paper_claim for m in metas)
+        (only,) = experiment_metadata("E2")
+        assert only.experiment_id == "E2" and only.parallelizable
+
+    def test_sweep_specs_declared_by_converted_experiments(self):
+        import importlib
+
+        for module_name, expected in [
+            ("repro.harness.e01_consensus_scaling", 8),
+            ("repro.harness.e02_delta_dependence", 5),
+            ("repro.harness.e08_protocol_comparison", 7),
+            ("repro.harness.e09_density_threshold", 5),
+            ("repro.harness.e11_best_of_two_conditions", 6),
+        ]:
+            mod = importlib.import_module(module_name)
+            spec = mod.sweep_spec(quick=True, seed=0)
+            assert len(spec) == expected, module_name
+            assert len({point_key(p) for p in spec.points}) == expected
+
+
+class TestSweepCLI:
+    def test_sweep_subcommand_smoke(self, capsys):
+        from repro.io.cli import main
+
+        rc = main(
+            [
+                "sweep",
+                "--host", "complete",
+                "--n", "128", "256",
+                "--delta", "0.2",
+                "--protocol", "best-of-3",
+                "--trials", "3",
+                "--max-steps", "200",
+                "--no-cache",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "complete n=128" in out and "complete n=256" in out
+        assert "2 point(s)" in out and "cache: off" in out
+
+    def test_sweep_save_archive_round_trips(self, tmp_path, capsys):
+        from repro.io.cli import main
+        from repro.io.results import ensemble_from_dict
+
+        out_path = tmp_path / "sweep.json"
+        rc = main(
+            [
+                "sweep",
+                "--n", "128",
+                "--delta", "0.2",
+                "--trials", "3",
+                "--max-steps", "200",
+                "--no-cache",
+                "--save", str(out_path),
+            ]
+        )
+        assert rc == 0
+        archive = json.loads(out_path.read_text())
+        assert archive["schema"] == "repro.sweep_archive/1"
+        ens = ensemble_from_dict(archive["points"][0]["payload"])
+        assert ens.trials == 3
+
+    def test_sweep_rejects_bad_protocol(self, capsys):
+        from repro.io.cli import main
+
+        rc = main(["sweep", "--protocol", "best-of-nope", "--no-cache"])
+        assert rc == 2
+        assert "cannot parse protocol" in capsys.readouterr().err
+
+    def test_sweep_rejects_bad_delta_at_parse_time(self, capsys):
+        from repro.io.cli import main
+
+        rc = main(["sweep", "--delta", "0.7", "--no-cache"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_sweep_rejects_bad_host_params_cleanly(self, capsys):
+        from repro.io.cli import main
+
+        rc = main(
+            ["sweep", "--host", "erdos-renyi", "--er-p", "1.5", "--no-cache"]
+        )
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_passes_jobs_through(self, capsys, tmp_path):
+        from repro.io.cli import main
+
+        rc = main(
+            ["run", "E2", "--jobs", "2", "--cache-dir", str(tmp_path), "--seed", "0"]
+        )
+        assert rc == 0
+        assert "### E2" in capsys.readouterr().out
+        # Second invocation is warm: every sweep point comes from cache.
+        rc = main(
+            ["run", "E2", "--jobs", "2", "--cache-dir", str(tmp_path), "--seed", "0"]
+        )
+        assert rc == 0
