@@ -1,13 +1,17 @@
 """Sweep-scheduler scaling benchmark: serial vs ``--jobs`` vs warm cache.
 
-Measures the three execution regimes of the sweep subsystem on the
-*actual harness grids* (the ``sweep_spec`` declarations of the converted
-experiments E1/E2/E8/E9/E11 — the same points ``python -m repro report
---jobs N`` fans out):
+Measures the execution regimes of the sweep subsystem on the *actual
+harness grids* (the ``sweep_spec`` declarations of the converted
+experiments E1/E2/E8/E9/E11/E12/E13/E14/E15 — the same points
+``python -m repro report --jobs N`` fans out):
 
 1. **cold serial** — ``jobs=1``, empty cache (the pre-sweep baseline);
-2. **cold parallel** — ``jobs=min(4, cpus)``, empty cache;
-3. **warm re-run** — same spec against the parallel run's cache, which
+2. **cold per-spec pools** — ``jobs=min(4, cpus)``, one
+   ``ProcessPoolExecutor`` per spec run sequentially (the pre-ISSUE-3
+   report behaviour);
+3. **cold global pool** — the same jobs, all specs interleaved through
+   one shared pool (``run_sweeps`` — what ``repro report`` now does);
+4. **warm re-run** — same specs against the global run's cache, which
    must skip (almost) every point.
 
 Writes ``BENCH_sweep_scaling.json``::
@@ -42,6 +46,10 @@ _SPEC_MODULES = [
     "repro.harness.e08_protocol_comparison",
     "repro.harness.e09_density_threshold",
     "repro.harness.e11_best_of_two_conditions",
+    "repro.harness.e12_adversarial_placement",
+    "repro.harness.e13_noisy_bifurcation",
+    "repro.harness.e14_async_equivalence",
+    "repro.harness.e15_zealot_threshold",
 ]
 
 
@@ -50,16 +58,24 @@ def _specs(quick: bool, seed: int):
         yield importlib.import_module(name).sweep_spec(quick=quick, seed=seed)
 
 
-def _run_all(specs, *, jobs: int, cache) -> tuple[float, int, int]:
-    """Execute every spec; returns (elapsed_s, points, cache_hits)."""
-    from repro.sweeps import run_sweep
+def _run_all(
+    specs, *, jobs: int, cache, pool: str = "per_spec"
+) -> tuple[float, int, int]:
+    """Execute every spec; returns (elapsed_s, points, cache_hits).
+
+    ``pool="per_spec"`` runs one scheduler call (hence one process pool)
+    per spec, sequentially; ``pool="global"`` interleaves every spec's
+    points through a single ``run_sweeps`` pool.
+    """
+    from repro.sweeps import run_sweep, run_sweeps
 
     start = time.perf_counter()
-    points = hits = 0
-    for spec in specs:
-        outcome = run_sweep(spec, jobs=jobs, cache=cache)
-        points += outcome.stats.points
-        hits += outcome.stats.hits
+    if pool == "global":
+        outcomes = run_sweeps(specs, jobs=jobs, cache=cache)
+    else:
+        outcomes = [run_sweep(spec, jobs=jobs, cache=cache) for spec in specs]
+    points = sum(o.stats.points for o in outcomes)
+    hits = sum(o.stats.hits for o in outcomes)
     return time.perf_counter() - start, points, hits
 
 
@@ -74,14 +90,21 @@ def measure(*, quick: bool = True, seed: int = 0, jobs: int | None = None) -> di
     with tempfile.TemporaryDirectory(prefix="bench-sweep-") as tmp:
         serial_s, points, _ = _run_all(specs, jobs=1, cache=SweepCache(Path(tmp) / "a"))
 
-        # Drop memoised hosts so the parallel pass rebuilds them too and
-        # the two cold passes pay identical setup costs.
+        # Drop memoised hosts between cold passes so each rebuilds them
+        # and all cold passes pay identical setup costs.
         _build_host_cached.cache_clear()
-        parallel_cache = SweepCache(Path(tmp) / "b")
-        parallel_s, _, _ = _run_all(specs, jobs=jobs, cache=parallel_cache)
+        per_spec_s, _, _ = _run_all(
+            specs, jobs=jobs, cache=SweepCache(Path(tmp) / "b")
+        )
+
+        _build_host_cached.cache_clear()
+        global_cache = SweepCache(Path(tmp) / "c")
+        global_s, _, _ = _run_all(
+            specs, jobs=jobs, cache=global_cache, pool="global"
+        )
 
         warm_s, warm_points, warm_hits = _run_all(
-            specs, jobs=jobs, cache=parallel_cache
+            specs, jobs=jobs, cache=global_cache, pool="global"
         )
 
     return {
@@ -91,8 +114,12 @@ def measure(*, quick: bool = True, seed: int = 0, jobs: int | None = None) -> di
         "cpu_count": cpus,
         "jobs": jobs,
         "cold_serial_s": round(serial_s, 3),
-        "cold_parallel_s": round(parallel_s, 3),
-        "parallel_speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "cold_per_spec_pool_s": round(per_spec_s, 3),
+        "cold_global_pool_s": round(global_s, 3),
+        "parallel_speedup": round(serial_s / global_s, 3) if global_s else None,
+        "global_vs_per_spec_speedup": (
+            round(per_spec_s / global_s, 3) if global_s else None
+        ),
         "warm_s": round(warm_s, 3),
         "warm_hits": warm_hits,
         "warm_skip_fraction": round(warm_hits / warm_points, 4) if warm_points else 0.0,
@@ -142,8 +169,10 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"  {results['points']} points on {results['cpu_count']} cpu(s): "
         f"serial {results['cold_serial_s']}s, "
-        f"jobs={results['jobs']} {results['cold_parallel_s']}s "
-        f"({results['parallel_speedup']}x), "
+        f"jobs={results['jobs']} per-spec pools "
+        f"{results['cold_per_spec_pool_s']}s, "
+        f"global pool {results['cold_global_pool_s']}s "
+        f"({results['global_vs_per_spec_speedup']}x vs per-spec), "
         f"warm {results['warm_s']}s "
         f"(skipped {results['warm_skip_fraction']:.0%})"
     )

@@ -13,7 +13,14 @@ __all__ = ["format_table", "format_value"]
 
 
 def format_value(value: Any, *, precision: int = 4) -> str:
-    """Format one cell: floats to *precision* significant digits."""
+    """Format one cell: floats to *precision* significant digits.
+
+    ``None`` renders as an em-dash: it is the "not applicable" sentinel
+    (e.g. a max consensus time when no replica converged), distinct from
+    a measured 0 and from NaN (a mean over an empty sample).
+    """
+    if value is None:
+        return "—"
     if isinstance(value, bool):
         return "yes" if value else "no"
     if isinstance(value, float):

@@ -5,9 +5,32 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
+import numpy as np
+
 from repro.analysis.tables import format_table
 
 __all__ = ["ExperimentResult"]
+
+
+def _native_scalar(value: Any) -> Any:
+    """Coerce NumPy scalars to built-in types; pass everything else through.
+
+    Harness arithmetic leaks NumPy types into results very easily — e.g.
+    ``ok = abs(x) <= tol`` is a ``numpy.bool_`` whenever ``tol`` came from
+    ``np.sqrt``, and ``ok &= ...`` chains keep it one.  ``numpy.bool_`` is
+    not a ``bool`` (``passed is True`` fails, ``format_value`` renders it
+    ``True`` instead of ``yes``), so the result type normalises at the
+    boundary rather than trusting 16 experiment modules to stay clean.
+    """
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.str_):
+        return str(value)
+    return value
 
 
 @dataclass
@@ -43,6 +66,16 @@ class ExperimentResult:
     verdict: str
     passed: bool
     extras: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # passed is declared bool and consumed by strict checks
+        # (`passed is True`, JSON emission); rows feed the renderer and
+        # the archive.  Coerce both so no harness can leak a NumPy
+        # scalar past this point.
+        self.passed = bool(self.passed)
+        self.rows = [
+            {k: _native_scalar(v) for k, v in row.items()} for row in self.rows
+        ]
 
     def table_markdown(self) -> str:
         """The regenerated table as markdown."""

@@ -32,8 +32,9 @@ from repro.sweeps import (
     Point,
     ProtocolSpec,
     SweepCache,
+    SweepOutcome,
     SweepSpec,
-    run_sweep,
+    ensure_outcome,
 )
 
 EXPERIMENT_ID = "E1"
@@ -103,10 +104,11 @@ def run(
     seed: int = 0,
     jobs: int = 1,
     cache: SweepCache | None = None,
+    outcome: SweepOutcome | None = None,
 ) -> ExperimentResult:
     """Run the scaling sweep; ``quick`` trims sizes and trial counts."""
     spec = sweep_spec(quick=quick, seed=seed)
-    outcome = run_sweep(spec, jobs=jobs, cache=cache)
+    outcome = ensure_outcome(spec, outcome, jobs=jobs, cache=cache)
 
     rows = []
     sizes, means = [], []

@@ -23,8 +23,9 @@ from repro.sweeps import (
     Point,
     ProtocolSpec,
     SweepCache,
+    SweepOutcome,
     SweepSpec,
-    run_sweep,
+    ensure_outcome,
 )
 
 EXPERIMENT_ID = "E2"
@@ -68,9 +69,10 @@ def run(
     seed: int = 0,
     jobs: int = 1,
     cache: SweepCache | None = None,
+    outcome: SweepOutcome | None = None,
 ) -> ExperimentResult:
     spec = sweep_spec(quick=quick, seed=seed)
-    outcome = run_sweep(spec, jobs=jobs, cache=cache)
+    outcome = ensure_outcome(spec, outcome, jobs=jobs, cache=cache)
 
     n = spec.points[0].host.param_dict()["n"]
     d = n - 1

@@ -27,8 +27,9 @@ from repro.sweeps import (
     Point,
     ProtocolSpec,
     SweepCache,
+    SweepOutcome,
     SweepSpec,
-    run_sweep,
+    ensure_outcome,
 )
 from repro.util.rng import spawn_generators
 
@@ -106,9 +107,10 @@ def run(
     seed: int = 0,
     jobs: int = 1,
     cache: SweepCache | None = None,
+    outcome: SweepOutcome | None = None,
 ) -> ExperimentResult:
     spec = sweep_spec(quick=quick, seed=seed)
-    outcome = run_sweep(spec, jobs=jobs, cache=cache)
+    outcome = ensure_outcome(spec, outcome, jobs=jobs, cache=cache)
     g = spec.points[0].host.build()
     n = g.num_vertices
     trials = spec.points[0].trials

@@ -25,8 +25,9 @@ from repro.sweeps import (
     Point,
     ProtocolSpec,
     SweepCache,
+    SweepOutcome,
     SweepSpec,
-    run_sweep,
+    ensure_outcome,
 )
 
 EXPERIMENT_ID = "E11"
@@ -93,10 +94,11 @@ def run(
     seed: int = 0,
     jobs: int = 1,
     cache: SweepCache | None = None,
+    outcome: SweepOutcome | None = None,
 ) -> ExperimentResult:
     n, d = N, D
     spec = sweep_spec(quick=quick, seed=seed)
-    outcome = run_sweep(spec, jobs=jobs, cache=cache)
+    outcome = ensure_outcome(spec, outcome, jobs=jobs, cache=cache)
     trials = spec.points[0].trials
     g = spec.points[0].host.build()
     lam2 = second_eigenvalue(g)

@@ -13,16 +13,26 @@ counts.  We measure Best-of-3 behaviour at a fixed blue *count* under
   is a fair sample of the population) — consistent with the paper's
   result needing only i.i.d.-ness, not any placement structure, on
   genuinely dense graphs.
+
+The five placement cases are declared as a :class:`SweepSpec`
+(``sweep_spec``), so they run through the sweep scheduler/cache like
+every other grid experiment; the per-case seeds ``(seed, 1, i)``
+reproduce the pre-sweep loop bit-for-bit.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.core.ensemble import run_ensemble
-from repro.core.opinions import RED, adversarial_opinions, exact_count_opinions
-from repro.graphs.generators import erdos_renyi, two_clique_bridge
 from repro.harness.base import ExperimentResult
+from repro.sweeps import (
+    HostSpec,
+    InitSpec,
+    Point,
+    ProtocolSpec,
+    SweepCache,
+    SweepOutcome,
+    SweepSpec,
+    ensure_outcome,
+)
 
 EXPERIMENT_ID = "E12"
 TITLE = "i.i.d. vs adversarial opinion placement"
@@ -38,77 +48,74 @@ PAPER_CLAIM = (
 BLUE_FRACTION = 0.4
 
 
-def _ensemble(graph, make_init, trials, seed, max_steps):
-    """All trials of one placement case through the batched engine."""
-    ens = run_ensemble(
-        graph,
-        replicas=trials,
-        k=3,
-        seed=seed,
-        max_steps=max_steps,
-        initializer=lambda n, rng: make_init(rng),
-        record_trajectories=False,
-    )
-    red = int(np.count_nonzero(ens.winners[ens.converged] == RED))
-    steps = ens.converged_steps
-    mean_t = float(steps.mean()) if steps.size else float("nan")
-    max_t = int(steps.max()) if steps.size else 0
-    return red, ens.converged_count, mean_t, max_t
-
-
-def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
+def sweep_spec(*, quick: bool = True, seed: int = 0) -> SweepSpec:
+    """E12's grid: five placement cases at one fixed blue count."""
     half = 192 if quick else 512
     trials = 8 if quick else 25
     max_steps = 600 if quick else 2000
-    bridge = two_clique_bridge(half, bridges=1)
-    n_b = bridge.num_vertices
-    blue_b = int(BLUE_FRACTION * n_b)
+    n = 2 * half
+    blue = int(BLUE_FRACTION * n)
 
-    er = erdos_renyi(n_b, 0.2, seed=(seed, 0))
-    blue_e = int(BLUE_FRACTION * n_b)
-
+    bridge = HostSpec.of("two_clique_bridge", half=half, bridges=1)
+    er = HostSpec.of("erdos_renyi", n=n, p=0.2, seed=(seed, 0))
     cases = [
-        (
-            "bridge / uniform",
-            bridge,
-            lambda rng: exact_count_opinions(n_b, blue_b, rng=rng),
-        ),
-        (
-            "bridge / packed (block)",
-            bridge,
-            lambda rng: adversarial_opinions(bridge, blue_b, "block", rng=rng),
-        ),
-        (
-            "ER dense / uniform",
-            er,
-            lambda rng: exact_count_opinions(n_b, blue_e, rng=rng),
-        ),
+        ("bridge / uniform", bridge, InitSpec.count(blue)),
+        ("bridge / packed (block)", bridge, InitSpec.adversarial(blue, "block")),
+        ("ER dense / uniform", er, InitSpec.count(blue)),
         (
             "ER dense / high-degree",
             er,
-            lambda rng: adversarial_opinions(er, blue_e, "high_degree", rng=rng),
+            InitSpec.adversarial(blue, "high_degree"),
         ),
         (
             "ER dense / cluster (BFS)",
             er,
-            lambda rng: adversarial_opinions(er, blue_e, "cluster", rng=rng),
+            InitSpec.adversarial(blue, "cluster"),
         ),
     ]
+    points = tuple(
+        Point(
+            host=host,
+            protocol=ProtocolSpec.best_of(3),
+            init=init,
+            trials=trials,
+            max_steps=max_steps,
+            seed=(seed, 1, i),
+            label=name,
+        )
+        for i, (name, host, init) in enumerate(cases)
+    )
+    return SweepSpec(name="e12_adversarial_placement", points=points)
+
+
+def run(
+    *,
+    quick: bool = True,
+    seed: int = 0,
+    jobs: int = 1,
+    cache: SweepCache | None = None,
+    outcome: SweepOutcome | None = None,
+) -> ExperimentResult:
+    spec = sweep_spec(quick=quick, seed=seed)
+    outcome = ensure_outcome(spec, outcome, jobs=jobs, cache=cache)
+    trials = spec.points[0].trials
+    blue = spec.points[0].init.blue
 
     rows = []
     stats: dict[str, tuple] = {}
-    for i, (name, graph, make_init) in enumerate(cases):
-        red, conv, mean_t, max_t = _ensemble(
-            graph, make_init, trials, (seed, 1, i), max_steps
-        )
-        stats[name] = (red, conv, mean_t, max_t)
+    for point, ens in outcome:
+        mean_t = ens.mean_steps
+        # None, not 0: a case where nothing converged has no max
+        # consensus time, and 0 would read as "converged at step 0".
+        max_t = ens.max_steps if ens.steps.size else None
+        stats[point.label] = (ens.red_wins, ens.converged, mean_t, max_t)
         rows.append(
             {
-                "case": name,
-                "blue count": blue_b,
+                "case": point.label,
+                "blue count": blue,
                 "trials": trials,
-                "converged": conv,
-                "red wins": red,
+                "converged": ens.converged,
+                "red wins": ens.red_wins,
                 "mean T": mean_t,
                 "max T": max_t,
             }

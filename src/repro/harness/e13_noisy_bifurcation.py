@@ -9,21 +9,30 @@ initial majority at a metastable level equal to the map's stable fixed
 point; above it the majority signal is destroyed.  The experiment sweeps
 ``eta`` across the transition and checks simulation against the exact
 fixed points.
+
+The eta axis is declared as a :class:`SweepSpec` (``sweep_spec``) of
+``noisy_best_of_k`` points.  Seed layout: the pre-sweep loop spawned
+``2·len(etas)`` streams from the root seed and gave point ``i`` streams
+``2i``/``2i+1``; each point declares that slice via ``spawn_base=2i``,
+which keeps the table bit-identical to the loop.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.opinions import random_opinions
-from repro.extensions.noisy_dynamics import (
-    CRITICAL_NOISE,
-    noisy_best_of_three_run,
-    noisy_fixed_points,
-)
-from repro.graphs.implicit import CompleteGraph
+from repro.extensions.noisy_dynamics import CRITICAL_NOISE, noisy_fixed_points
 from repro.harness.base import ExperimentResult
-from repro.util.rng import spawn_generators
+from repro.sweeps import (
+    HostSpec,
+    InitSpec,
+    Point,
+    ProtocolSpec,
+    SweepCache,
+    SweepOutcome,
+    SweepSpec,
+    ensure_outcome,
+)
 
 EXPERIMENT_ID = "E13"
 TITLE = "Noise bifurcation of Best-of-Three (extension)"
@@ -36,37 +45,62 @@ PAPER_CLAIM = (
 )
 
 DELTA = 0.1
+ETAS = [0.0, 0.1, 0.2, 0.3, 0.4, 0.6]
 
 
-def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
+def sweep_spec(*, quick: bool = True, seed: int = 0) -> SweepSpec:
+    """E13's grid: the eta axis across the predicted transition."""
     n = 20_000 if quick else 100_000
     rounds = 80 if quick else 200
-    etas = [0.0, 0.1, 0.2, 0.3, 0.4, 0.6]
-    g = CompleteGraph(n)
-    gens = spawn_generators(seed, 2 * len(etas))
+    points = tuple(
+        Point(
+            host=HostSpec.of("complete", n=n),
+            protocol=ProtocolSpec.noisy(eta),
+            init=InitSpec.iid(DELTA),
+            trials=1,
+            max_steps=rounds,
+            seed=seed,
+            spawn_base=2 * i,
+            label=f"eta={eta}",
+        )
+        for i, eta in enumerate(ETAS)
+    )
+    return SweepSpec(name="e13_noisy_bifurcation", points=points)
+
+
+def run(
+    *,
+    quick: bool = True,
+    seed: int = 0,
+    jobs: int = 1,
+    cache: SweepCache | None = None,
+    outcome: SweepOutcome | None = None,
+) -> ExperimentResult:
+    spec = sweep_spec(quick=quick, seed=seed)
+    outcome = ensure_outcome(spec, outcome, jobs=jobs, cache=cache)
+    n = spec.points[0].host.param_dict()["n"]
 
     rows = []
     all_ok = True
-    for i, eta in enumerate(etas):
-        init = random_opinions(n, DELTA, rng=gens[2 * i])
-        res = noisy_best_of_three_run(
-            g, init, eta, seed=gens[2 * i + 1], rounds=rounds
-        )
+    for point, payload in outcome:
+        eta = point.protocol.eta
+        stationary = payload["stationary_blue_fraction"][0]
+        preserved = payload["majority_preserved"][0]
         pts = noisy_fixed_points(eta)
         predicted = pts[0] if eta < CRITICAL_NOISE else 0.5
         tol = 0.02 + 3.0 / np.sqrt(n)
-        ok = abs(res.stationary_blue_fraction - predicted) <= tol
+        ok = abs(stationary - predicted) <= tol
         subcritical = eta < CRITICAL_NOISE
         if subcritical:
-            ok &= res.majority_preserved
+            ok &= preserved
         all_ok &= ok
         rows.append(
             {
                 "eta": eta,
                 "regime": "subcritical" if subcritical else "supercritical",
-                "stationary blue": res.stationary_blue_fraction,
+                "stationary blue": stationary,
                 "predicted fixed point": predicted,
-                "majority preserved": res.majority_preserved,
+                "majority preserved": preserved,
                 "ok": ok,
             }
         )

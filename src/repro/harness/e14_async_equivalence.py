@@ -6,18 +6,31 @@ If that reading is right, the sequential dynamics measured in *sweeps*
 (n single-vertex ticks) should match synchronous rounds up to a small
 constant factor across hosts and sizes — and the winner statistics
 should be identical.
+
+The host axis is declared as a :class:`SweepSpec` (``sweep_spec``) of
+``async_vs_sync`` points: each point runs its trials' paired
+synchronous/asynchronous chains from shared initial configurations,
+consuming the historical stream layout (``3j`` init / ``3j+1`` sync /
+``3j+2`` async per trial under root ``(seed, i)``) so the table is
+bit-identical to the pre-sweep loop.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.dynamics import best_of_three
-from repro.core.opinions import RED, random_opinions
-from repro.extensions.async_dynamics import async_best_of_k_run
-from repro.graphs.implicit import CompleteGraph, RookGraph
+from repro.core.opinions import RED
 from repro.harness.base import ExperimentResult
-from repro.util.rng import spawn_generators
+from repro.sweeps import (
+    HostSpec,
+    InitSpec,
+    Point,
+    ProtocolSpec,
+    SweepCache,
+    SweepOutcome,
+    SweepSpec,
+    ensure_outcome,
+)
 
 EXPERIMENT_ID = "E14"
 TITLE = "Asynchronous sweeps vs synchronous rounds (extension)"
@@ -31,35 +44,60 @@ PAPER_CLAIM = (
 DELTA = 0.1
 
 
-def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
+def sweep_spec(*, quick: bool = True, seed: int = 0) -> SweepSpec:
+    """E14's grid: dense hosts of growing size, one point per host."""
     trials = 8 if quick else 20
     hosts = [
-        ("K_4096", CompleteGraph(4096)),
-        ("K_65536", CompleteGraph(65536)),
-        ("Rook_64x64", RookGraph(64)),
+        ("K_4096", HostSpec.of("complete", n=4096)),
+        ("K_65536", HostSpec.of("complete", n=65536)),
+        ("Rook_64x64", HostSpec.of("rook", side=64)),
     ]
     if not quick:
-        hosts.append(("K_262144", CompleteGraph(262144)))
+        hosts.append(("K_262144", HostSpec.of("complete", n=262144)))
+    points = tuple(
+        Point(
+            host=host,
+            protocol=ProtocolSpec.async_vs_sync(),
+            init=InitSpec.iid(DELTA),
+            trials=trials,
+            max_steps=500,
+            seed=(seed, i),
+            label=name,
+        )
+        for i, (name, host) in enumerate(hosts)
+    )
+    return SweepSpec(name="e14_async_equivalence", points=points)
+
+
+def run(
+    *,
+    quick: bool = True,
+    seed: int = 0,
+    jobs: int = 1,
+    cache: SweepCache | None = None,
+    outcome: SweepOutcome | None = None,
+) -> ExperimentResult:
+    spec = sweep_spec(quick=quick, seed=seed)
+    outcome = ensure_outcome(spec, outcome, jobs=jobs, cache=cache)
 
     rows = []
     all_ok = True
-    for i, (name, g) in enumerate(hosts):
-        n = g.num_vertices
-        gens = spawn_generators((seed, i), 3 * trials)
-        sync_steps, async_sweeps = [], []
-        red_sync = red_async = 0
-        for j in range(trials):
-            init = random_opinions(n, DELTA, rng=gens[3 * j])
-            s = best_of_three(g).run(
-                init, seed=gens[3 * j + 1], max_steps=500, keep_final=False
-            )
-            a = async_best_of_k_run(g, init, seed=gens[3 * j + 2], max_sweeps=500)
-            if s.converged:
-                sync_steps.append(s.steps)
-                red_sync += int(s.winner == RED)
-            if a.converged:
-                async_sweeps.append(a.sweeps)
-                red_async += int(a.winner == RED)
+    for point, payload in outcome:
+        trials = point.trials
+        n = point.host.build().num_vertices
+        sync, async_ = payload["sync"], payload["async"]
+        sync_steps = [
+            s for s, c in zip(sync["steps"], sync["converged"]) if c
+        ]
+        async_sweeps = [
+            s for s, c in zip(async_["sweeps"], async_["converged"]) if c
+        ]
+        red_sync = sum(
+            w == RED for w, c in zip(sync["winners"], sync["converged"]) if c
+        )
+        red_async = sum(
+            w == RED for w, c in zip(async_["winners"], async_["converged"]) if c
+        )
         mean_sync = float(np.mean(sync_steps))
         mean_async = float(np.mean(async_sweeps))
         ratio = mean_async / mean_sync
@@ -71,7 +109,7 @@ def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
         all_ok &= ok
         rows.append(
             {
-                "host": name,
+                "host": point.label,
                 "n": n,
                 "trials": trials,
                 "sync mean rounds": mean_sync,

@@ -15,17 +15,28 @@ The effective takeover threshold ``ζ_eff`` (where the limit flips) is
 located by bisection, and simulation on a dense host must agree with the
 map's verdict on both sides of it — including the quantitative
 metastable level ``b* − ζ`` of ordinary blue below threshold.
+
+The zeta axis is declared as a :class:`SweepSpec` (``sweep_spec``) of
+``zealot_best_of_k`` points; each point's root seed ``(seed, i)``
+reproduces the pre-sweep loop's stream layout (``2j`` init / ``2j+1``
+dynamics per trial), keeping the table bit-identical.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.opinions import random_opinions
-from repro.extensions.zealots import zealot_best_of_three_run
-from repro.graphs.implicit import CompleteGraph
 from repro.harness.base import ExperimentResult
-from repro.util.rng import spawn_generators
+from repro.sweeps import (
+    HostSpec,
+    InitSpec,
+    Point,
+    ProtocolSpec,
+    SweepCache,
+    SweepOutcome,
+    SweepSpec,
+    ensure_outcome,
+)
 
 EXPERIMENT_ID = "E15"
 TITLE = "Zealot takeover threshold (extension)"
@@ -61,40 +72,76 @@ def _effective_threshold() -> float:
     return (lo + hi) / 2
 
 
-def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
+def _zeta_axis() -> tuple[float, list[float]]:
+    """``(zeta_eff, zetas)`` — the single source of the sweep axis.
+
+    ``sweep_spec`` and ``run`` both consume this, so the zeta values the
+    table reports can never drift from the zealot counts the points were
+    simulated with.
+    """
+    zeta_eff = _effective_threshold()
+    return zeta_eff, [
+        0.25 * zeta_eff,
+        0.6 * zeta_eff,
+        1.3 * zeta_eff,
+        2.0 * zeta_eff,
+    ]
+
+
+def sweep_spec(*, quick: bool = True, seed: int = 0) -> SweepSpec:
+    """E15's grid: zeta on both sides of the effective threshold."""
     n = 10_000 if quick else 50_000
     trials = 5 if quick else 15
     max_rounds = 300 if quick else 800
-    g = CompleteGraph(n)
-    zeta_eff = _effective_threshold()
-    zetas = [0.25 * zeta_eff, 0.6 * zeta_eff, 1.3 * zeta_eff, 2.0 * zeta_eff]
+    _, zetas = _zeta_axis()
+    points = tuple(
+        Point(
+            host=HostSpec.of("complete", n=n),
+            protocol=ProtocolSpec.with_zealots(int(round(zeta * n))),
+            init=InitSpec.iid(DELTA),
+            trials=trials,
+            max_steps=max_rounds,
+            seed=(seed, i),
+            label=f"zeta={zeta:.4f}",
+        )
+        for i, zeta in enumerate(zetas)
+    )
+    return SweepSpec(name="e15_zealot_threshold", points=points)
+
+
+def run(
+    *,
+    quick: bool = True,
+    seed: int = 0,
+    jobs: int = 1,
+    cache: SweepCache | None = None,
+    outcome: SweepOutcome | None = None,
+) -> ExperimentResult:
+    spec = sweep_spec(quick=quick, seed=seed)
+    outcome = ensure_outcome(spec, outcome, jobs=jobs, cache=cache)
+    n = spec.points[0].host.param_dict()["n"]
+    zeta_eff, zetas = _zeta_axis()
 
     rows = []
     all_ok = True
-    for i, zeta in enumerate(zetas):
-        z = int(round(zeta * n))
+    for (point, payload), zeta in zip(outcome, zetas):
+        trials = point.trials
+        z = point.protocol.zealots
         limit = _meanfield_limit(z / n)
         blue_takeover_predicted = limit > 0.99
         metastable_ordinary = max(limit - z / n, 0.0) / max(1.0 - z / n, 1e-9)
-        gens = spawn_generators((seed, i), 2 * trials)
+        n_ord = n - z
+        final_ord_fracs = [b / n_ord for b in payload["final_ordinary_blue"]]
         agree = 0
-        final_ord_fracs = []
-        for j in range(trials):
-            init = random_opinions(n, DELTA, rng=gens[2 * j])
-            res = zealot_best_of_three_run(
-                g, init, z, seed=gens[2 * j + 1], max_rounds=max_rounds
-            )
-            n_ord = n - z
-            final_ord_fracs.append(res.final_ordinary_blue / n_ord)
+        for outcome_label, frac in zip(
+            payload["ordinary_outcome"], final_ord_fracs
+        ):
             if blue_takeover_predicted:
-                agree += res.ordinary_outcome == "all_blue"
+                agree += outcome_label == "all_blue"
             else:
                 # Below threshold: ordinary blue must sit at the (small)
                 # metastable level — all_red or a matching mixed level.
-                agree += (
-                    res.final_ordinary_blue / n_ord
-                    <= metastable_ordinary + 0.02 + 3.0 / np.sqrt(n)
-                )
+                agree += frac <= metastable_ordinary + 0.02 + 3.0 / np.sqrt(n)
         ok = agree == trials
         all_ok &= ok
         rows.append(

@@ -10,13 +10,14 @@ from typing import TYPE_CHECKING, Callable
 from repro.harness.base import ExperimentResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, type-only
-    from repro.sweeps import SweepCache
+    from repro.sweeps import SweepCache, SweepOutcome, SweepSpec
 
 __all__ = [
     "ExperimentMetadata",
     "all_experiment_ids",
     "experiment_metadata",
     "get_runner",
+    "get_sweep_spec",
     "run_experiment",
 ]
 
@@ -102,6 +103,21 @@ def get_runner(experiment_id: str) -> Callable[..., ExperimentResult]:
     return module.run
 
 
+def get_sweep_spec(
+    experiment_id: str,
+) -> Callable[..., "SweepSpec"] | None:
+    """The ``sweep_spec(quick=..., seed=...)`` builder of an experiment.
+
+    Returns ``None`` for experiments whose loops have not been extracted
+    into a :class:`~repro.sweeps.spec.SweepSpec`.  This is what lets the
+    report path collect every requested grid up front and execute them
+    all through one :func:`~repro.sweeps.run_sweeps` pool.
+    """
+    get_runner(experiment_id)  # validates the id, imports the module
+    module = importlib.import_module(_MODULES[experiment_id])
+    return getattr(module, "sweep_spec", None)
+
+
 def run_experiment(
     experiment_id: str,
     *,
@@ -109,13 +125,17 @@ def run_experiment(
     seed: int = 0,
     jobs: int = 1,
     cache: "SweepCache | None" = None,
+    outcome: "SweepOutcome | None" = None,
 ) -> ExperimentResult:
     """Run one experiment by id.
 
     ``jobs`` and ``cache`` reach the experiments whose grids run through
     the sweep scheduler (see :func:`experiment_metadata`); experiments
     without a sweep-shaped loop silently ignore them, so callers can
-    pass both unconditionally.
+    pass both unconditionally.  ``outcome`` hands such an experiment a
+    precomputed :class:`~repro.sweeps.SweepOutcome` for its grid (the
+    report path computes every grid through one shared pool first); the
+    experiment validates it against its own spec.
     """
     runner = get_runner(experiment_id)
     kwargs: dict = {"quick": quick, "seed": seed}
@@ -124,4 +144,11 @@ def run_experiment(
         kwargs["jobs"] = jobs
     if "cache" in params:
         kwargs["cache"] = cache
+    if outcome is not None:
+        if "outcome" not in params:
+            raise ValueError(
+                f"experiment {experiment_id} does not take a precomputed "
+                "sweep outcome"
+            )
+        kwargs["outcome"] = outcome
     return runner(**kwargs)

@@ -20,8 +20,11 @@ Subcommands
 ``run``, ``report``, and ``sweep`` all accept ``--jobs N`` (worker
 processes for sweep grids) and share the content-addressed result cache
 (``~/.cache/repro-sweeps`` by default; redirect with ``--cache-dir``,
-disable with ``--no-cache``).  Re-running any of them with the same
-parameters and library version skips the already-simulated points.
+disable with ``--no-cache``, size-bound with ``--cache-max-mb``).
+Re-running any of them with the same parameters and library version
+skips the already-simulated points.  ``report --jobs N`` executes every
+requested experiment's grid through **one** shared process pool;
+``sweep --gc`` runs the cache's LRU garbage collector and exits.
 """
 
 from __future__ import annotations
@@ -61,6 +64,9 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument("--full", action="store_true")
     rep_p.add_argument("--seed", type=int, default=0)
     rep_p.add_argument("--out", default="EXPERIMENTS.md")
+    rep_p.add_argument(
+        "--ids", nargs="*", default=None, help="subset of experiment ids"
+    )
     _add_sweep_controls(rep_p)
 
     swp_p = sub.add_parser(
@@ -105,6 +111,12 @@ def build_parser() -> argparse.ArgumentParser:
     swp_p.add_argument("--max-steps", type=int, default=2000)
     swp_p.add_argument("--seed", type=int, default=0)
     swp_p.add_argument("--save", metavar="PATH", help="archive the sweep as JSON")
+    swp_p.add_argument(
+        "--gc",
+        action="store_true",
+        help="run the cache garbage collector and exit (no grid is run); "
+        "bound the cache with --cache-max-mb",
+    )
     _add_sweep_controls(swp_p)
 
     demo_p = sub.add_parser("demo", help="one Best-of-Three run, end to end")
@@ -162,6 +174,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
         argv.extend(["--cache-dir", args.cache_dir])
     if args.no_cache:
         argv.append("--no-cache")
+    if args.cache_max_mb is not None:
+        argv.extend(["--cache-max-mb", str(args.cache_max_mb)])
+    if args.ids is not None:
+        argv.extend(["--ids", *args.ids])
     return report_main(argv)
 
 
@@ -217,6 +233,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
 
     cache = _make_cache(args)
+    if args.gc:
+        if cache is None:
+            print("error: --gc needs the cache enabled", file=sys.stderr)
+            return 2
+        before_mb = cache.size_bytes() / 2**20
+        stats = cache.gc()
+        bound = (
+            f"{cache.max_mb:g} MB bound"
+            if cache.max_mb is not None
+            else "no bound (use --cache-max-mb to evict)"
+        )
+        print(
+            f"cache {cache.root}: {before_mb:.1f} MB before gc ({bound}); "
+            f"removed {stats.removed_entries} entries "
+            f"({stats.removed_bytes / 2**20:.1f} MB), kept "
+            f"{stats.kept_entries} ({stats.kept_bytes / 2**20:.1f} MB)"
+        )
+        return 0
     try:
         # Spec validation (protocol names, delta range, trial counts)
         # rejects bad input before any simulation; host params that only

@@ -10,6 +10,7 @@ saving never fails and the archive stays human-inspectable.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import Any
 
@@ -24,13 +25,25 @@ __all__ = [
     "result_from_dict",
     "ensemble_to_dict",
     "ensemble_from_dict",
+    "payload_to_dict",
+    "payload_from_dict",
     "save_results",
     "load_results",
 ]
 
+POINT_PAYLOAD_SCHEMA = "repro.point_payload/1"
 
-def _jsonable(value: Any) -> Any:
-    """Best-effort conversion of *value* to JSON-native types."""
+
+def _jsonable(
+    value: Any, *, lost: list[str] | None = None, path: str = ""
+) -> Any:
+    """Best-effort conversion of *value* to JSON-native types.
+
+    Unknown types are stringified with an ``<unserialisable:...>`` marker
+    so archiving never fails; when *lost* is given, the key path of every
+    such value is appended to it so callers can surface the loss instead
+    of silently corrupting result files.
+    """
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     if isinstance(value, (np.integer,)):
@@ -42,14 +55,28 @@ def _jsonable(value: Any) -> Any:
     if isinstance(value, np.ndarray):
         return value.tolist()
     if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
+        return {
+            str(k): _jsonable(v, lost=lost, path=f"{path}.{k}" if path else str(k))
+            for k, v in value.items()
+        }
     if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
+        return [
+            _jsonable(v, lost=lost, path=f"{path}[{i}]")
+            for i, v in enumerate(value)
+        ]
+    if lost is not None:
+        lost.append(path or "<root>")
     return f"<unserialisable:{type(value).__name__}>{value!r}"
 
 
-def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
-    """Convert an :class:`ExperimentResult` into a JSON-ready dict."""
+def result_to_dict(
+    result: ExperimentResult, *, lost: list[str] | None = None
+) -> dict[str, Any]:
+    """Convert an :class:`ExperimentResult` into a JSON-ready dict.
+
+    When *lost* is given, the key paths of any values that could only be
+    stringified (not serialised) are appended to it.
+    """
     return {
         "schema": "repro.experiment_result/1",
         "library_version": __version__,
@@ -57,11 +84,14 @@ def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
         "title": result.title,
         "paper_claim": result.paper_claim,
         "columns": list(result.columns),
-        "rows": [_jsonable(dict(r)) for r in result.rows],
+        "rows": [
+            _jsonable(dict(r), lost=lost, path=f"rows[{i}]")
+            for i, r in enumerate(result.rows)
+        ],
         "summary": list(result.summary),
         "verdict": result.verdict,
         "passed": bool(result.passed),
-        "extras": _jsonable(result.extras),
+        "extras": _jsonable(result.extras, lost=lost, path="extras"),
     }
 
 
@@ -130,15 +160,81 @@ def ensemble_from_dict(payload: dict[str, Any]) -> ConsensusEnsemble:
     )
 
 
+def payload_to_dict(payload: "ConsensusEnsemble | dict[str, Any]") -> dict[str, Any]:
+    """Serialise a sweep-point result for the content-addressed cache.
+
+    Two payload shapes exist: the ensemble-engine protocols summarise to
+    a :class:`ConsensusEnsemble`; the extension protocols (noisy, async,
+    zealot — :mod:`repro.sweeps.runner`) return plain JSON-native dicts.
+    Dict payloads are serialised *strictly*: an entry that could only be
+    stringified would not round-trip, so it raises instead of silently
+    corrupting the cache.
+    """
+    if isinstance(payload, ConsensusEnsemble):
+        return ensemble_to_dict(payload)
+    if isinstance(payload, dict):
+        lost: list[str] = []
+        data = _jsonable(payload, lost=lost)
+        if lost:
+            raise TypeError(
+                "point payload contains non-JSON-native value(s) at: "
+                + ", ".join(lost)
+            )
+        return {"schema": POINT_PAYLOAD_SCHEMA, "data": data}
+    raise TypeError(
+        f"unsupported point payload type {type(payload).__name__}"
+    )
+
+
+def payload_from_dict(payload: dict[str, Any]) -> "ConsensusEnsemble | dict[str, Any]":
+    """Inverse of :func:`payload_to_dict`, dispatching on the schema tag.
+
+    Raises
+    ------
+    ValueError
+        If the payload does not carry a recognised schema marker.
+    """
+    schema = payload.get("schema")
+    if schema == "repro.consensus_ensemble/1":
+        return ensemble_from_dict(payload)
+    if schema == POINT_PAYLOAD_SCHEMA:
+        data = payload.get("data")
+        if not isinstance(data, dict):
+            raise ValueError("point payload data must be a dict")
+        return data
+    raise ValueError(f"unrecognised payload schema {schema!r}")
+
+
 def save_results(
     results: list[ExperimentResult], path: str | Path, *, indent: int = 2
 ) -> None:
-    """Write experiment results to *path* as a JSON document."""
+    """Write experiment results to *path* as a JSON document.
+
+    Values that cannot be serialised are stringified with a marker (so
+    saving never fails) **and** reported in a :class:`RuntimeWarning`
+    listing the offending keys — a harness that starts leaking opaque
+    objects into its rows or extras surfaces immediately instead of
+    quietly corrupting the archive.
+    """
+    lost: list[str] = []
+    converted = []
+    for result in results:
+        per_result: list[str] = []
+        converted.append(result_to_dict(result, lost=per_result))
+        lost.extend(f"{result.experiment_id}:{key}" for key in per_result)
     payload = {
         "schema": "repro.result_archive/1",
         "library_version": __version__,
-        "results": [result_to_dict(r) for r in results],
+        "results": converted,
     }
+    if lost:
+        warnings.warn(
+            "archive at "
+            f"{path} stringified {len(lost)} non-serialisable value(s): "
+            + ", ".join(lost),
+            RuntimeWarning,
+            stacklevel=2,
+        )
     Path(path).write_text(json.dumps(payload, indent=indent), encoding="utf-8")
 
 

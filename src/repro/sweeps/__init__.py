@@ -5,11 +5,15 @@ The three layers (DESIGN.md §2.4):
 
 * :mod:`repro.sweeps.spec` — :class:`SweepSpec` / :class:`Point`: pure-
   data descriptions of ensemble grids (host × protocol × init × seed);
-* :mod:`repro.sweeps.scheduler` — :func:`run_sweep`: executes a spec
-  inline or over a process pool, bit-identical either way;
+* :mod:`repro.sweeps.scheduler` — :func:`run_sweeps`: executes many
+  specs through one shared process pool (points interleaved,
+  cross-spec deduplication), bit-identical to serial;
+  :func:`run_sweep` is the single-spec wrapper;
 * :mod:`repro.sweeps.cache` — :class:`SweepCache`: self-verifying
   on-disk entries keyed by point content + library version, giving warm
-  re-runs and resumable partial sweeps for free.
+  re-runs and resumable partial sweeps for free, with an LRU garbage
+  collector (``max_mb`` / :meth:`SweepCache.gc`) to keep warm caches
+  bounded.
 
 Quickstart::
 
@@ -31,16 +35,30 @@ Quickstart::
         print(point.label, ens.mean_steps)
 """
 
-from repro.sweeps.cache import SweepCache, default_cache_dir, point_key
-from repro.sweeps.runner import build_host, execute_point, host_families
+from repro.sweeps.cache import (
+    CacheGCStats,
+    SweepCache,
+    default_cache_dir,
+    point_key,
+)
+from repro.sweeps.runner import (
+    build_host,
+    execute_point,
+    host_families,
+    point_streams,
+)
 from repro.sweeps.scheduler import (
     SweepOutcome,
     SweepStats,
     add_sweep_arguments,
     cache_from_args,
+    ensure_outcome,
     run_sweep,
+    run_sweeps,
 )
 from repro.sweeps.spec import (
+    ADVERSARIAL_STRATEGIES,
+    PROTOCOL_KINDS,
     HostSpec,
     InitSpec,
     Point,
@@ -51,6 +69,8 @@ from repro.sweeps.spec import (
 )
 
 __all__ = [
+    "ADVERSARIAL_STRATEGIES",
+    "PROTOCOL_KINDS",
     "HostSpec",
     "ProtocolSpec",
     "InitSpec",
@@ -58,15 +78,19 @@ __all__ = [
     "SweepSpec",
     "canonical_point",
     "derive_point_seed",
+    "CacheGCStats",
     "SweepCache",
     "default_cache_dir",
     "point_key",
     "build_host",
     "execute_point",
     "host_families",
+    "point_streams",
     "SweepOutcome",
     "SweepStats",
     "run_sweep",
+    "run_sweeps",
+    "ensure_outcome",
     "add_sweep_arguments",
     "cache_from_args",
 ]

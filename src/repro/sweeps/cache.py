@@ -21,6 +21,13 @@ skips every point that already landed.
 
 The default location is ``~/.cache/repro-sweeps`` (override with the
 ``REPRO_SWEEP_CACHE`` environment variable or an explicit ``root``).
+Payloads are either :class:`~repro.analysis.experiments.ConsensusEnsemble`
+summaries (ensemble-engine protocols) or plain JSON dicts (the extension
+protocols), dispatched by :mod:`repro.io.results`'s payload schema tags.
+A warm cache can be size-bounded: :meth:`SweepCache.gc` evicts
+least-recently-used entries (mtime order; hits refresh mtime) until the
+cache fits ``max_mb`` — wired to ``--cache-max-mb`` and ``repro sweep
+--gc`` on the CLI.
 """
 
 from __future__ import annotations
@@ -29,15 +36,16 @@ import hashlib
 import json
 import os
 import warnings
+from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
+from typing import Any
 
 import repro._version
-from repro.analysis.experiments import ConsensusEnsemble
-from repro.io.results import ensemble_from_dict, ensemble_to_dict
+from repro.io.results import payload_from_dict, payload_to_dict
 from repro.sweeps.spec import Point, canonical_json, canonical_point
 
-__all__ = ["SweepCache", "default_cache_dir", "point_key"]
+__all__ = ["CacheGCStats", "SweepCache", "default_cache_dir", "point_key"]
 
 ENTRY_SCHEMA = "repro.sweep_cache/1"
 CACHE_ENV_VAR = "REPRO_SWEEP_CACHE"
@@ -97,11 +105,37 @@ def _payload_digest(payload: dict) -> str:
     return hashlib.sha256(canonical_json(payload).encode("ascii")).hexdigest()
 
 
-class SweepCache:
-    """Filesystem cache mapping points to ensemble summaries."""
+@dataclass(frozen=True)
+class CacheGCStats:
+    """Outcome of one :meth:`SweepCache.gc` pass."""
 
-    def __init__(self, root: str | Path | None = None) -> None:
+    kept_entries: int
+    kept_bytes: int
+    removed_entries: int
+    removed_bytes: int
+
+
+class SweepCache:
+    """Filesystem cache mapping points to result payloads.
+
+    ``max_mb`` declares a size bound for :meth:`gc` (least-recently-used
+    entries — by mtime, which :meth:`get` refreshes on every hit — are
+    evicted until the cache fits).  The bound is enforced only when
+    :meth:`gc` runs (the scheduler calls it after each sweep, and
+    ``repro sweep --gc`` invokes it directly); reads and writes never
+    block on it.
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        *,
+        max_mb: float | None = None,
+    ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        if max_mb is not None and max_mb < 0:
+            raise ValueError(f"max_mb must be >= 0, got {max_mb}")
+        self.max_mb = max_mb
         self._write_warned = False
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -112,8 +146,13 @@ class SweepCache:
         key = point_key(point)
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, point: Point) -> ConsensusEnsemble | None:
-        """The cached ensemble for *point*, or ``None`` on miss/corruption."""
+    def get(self, point: Point) -> Any | None:
+        """The cached payload for *point*, or ``None`` on miss/corruption.
+
+        A hit refreshes the entry's mtime (best-effort), which is what
+        makes :meth:`gc`'s mtime ordering *least-recently-used* rather
+        than least-recently-written.
+        """
         path = self.path_for(point)
         try:
             entry = json.loads(path.read_text(encoding="utf-8"))
@@ -129,20 +168,37 @@ class SweepCache:
         if entry.get("payload_sha256") != _payload_digest(payload):
             return None
         try:
-            return ensemble_from_dict(payload)
+            result = payload_from_dict(payload)
         except (KeyError, ValueError, TypeError):
             return None
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - read-only cache still serves
+            pass
+        return result
 
-    def put(self, point: Point, ensemble: ConsensusEnsemble) -> Path | None:
-        """Store *ensemble* for *point* atomically; returns the entry path.
+    def put(self, point: Point, result: Any) -> Path | None:
+        """Store the *result* payload for *point* atomically.
 
         Best-effort, like :meth:`get`: an unwritable cache (read-only
-        home, full disk) must never lose a simulation that already
-        succeeded, so write failures warn once and return ``None`` —
-        the sweep simply runs uncached.
+        home, full disk) or a payload that refuses strict serialisation
+        (a runner leaking non-JSON-native values) must never lose a
+        simulation that already succeeded, so either failure warns once
+        and returns ``None`` — the sweep simply runs uncached.
         """
         path = self.path_for(point)
-        payload = ensemble_to_dict(ensemble)
+        try:
+            payload = payload_to_dict(result)
+        except TypeError as exc:
+            if not self._write_warned:
+                self._write_warned = True
+                warnings.warn(
+                    f"sweep result for {point.label or 'point'} cannot be "
+                    f"cached ({exc}); results will not be cached",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return None
         entry = {
             "schema": ENTRY_SCHEMA,
             "key": point_key(point),
@@ -170,3 +226,63 @@ class SweepCache:
                 )
             return None
         return path
+
+    def _entries(self) -> list[tuple[Path, float, int]]:
+        """All entry files as ``(path, mtime, size)`` (missing root: [])."""
+        out = []
+        try:
+            shards = list(self.root.iterdir())
+        except OSError:
+            return []
+        for shard in shards:
+            if not shard.is_dir():
+                continue
+            for path in shard.glob("*.json"):
+                try:
+                    st = path.stat()
+                except OSError:  # pragma: no cover - raced deletion
+                    continue
+                out.append((path, st.st_mtime, st.st_size))
+        return out
+
+    def size_bytes(self) -> int:
+        """Total bytes currently held by cache entries."""
+        return sum(size for _, _, size in self._entries())
+
+    def gc(self, max_mb: float | None = None) -> CacheGCStats:
+        """Evict least-recently-used entries until the cache fits.
+
+        *max_mb* overrides the bound declared at construction; with
+        neither set (unbounded cache) nothing is removed.  Eviction
+        order is ascending mtime — a warm entry that keeps hitting
+        keeps living, however old its simulation is.  Deletions are
+        best-effort: an entry that vanishes or resists deletion is
+        skipped, never fatal.
+        """
+        bound = self.max_mb if max_mb is None else max_mb
+        entries = sorted(self._entries(), key=lambda e: e[1])
+        total = sum(size for _, _, size in entries)
+        if bound is None:
+            return CacheGCStats(len(entries), total, 0, 0)
+        budget = int(bound * 2**20)
+        removed_entries = removed_bytes = 0
+        for path, _, size in entries:
+            if total <= budget:
+                break
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - raced deletion
+                continue
+            total -= size
+            removed_entries += 1
+            removed_bytes += size
+            try:  # drop the two-level shard dir once it empties out
+                path.parent.rmdir()
+            except OSError:
+                pass
+        return CacheGCStats(
+            kept_entries=len(entries) - removed_entries,
+            kept_bytes=total,
+            removed_entries=removed_entries,
+            removed_bytes=removed_bytes,
+        )

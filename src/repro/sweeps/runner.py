@@ -1,5 +1,5 @@
 """Point execution: map a declarative :class:`~repro.sweeps.spec.Point`
-to an actual ensemble simulation.
+to an actual simulation.
 
 This module owns the name → code registries (host families, protocols,
 initialisers) so that points stay pure data.  ``execute_point`` is a
@@ -13,6 +13,27 @@ ensembles.  The memo is keyed by the frozen :class:`HostSpec`, so two
 points naming the same family + params (including the generator seed)
 share one graph object — exactly the quenched-host convention the
 pre-sweep experiment loops used.
+
+Payload shapes
+--------------
+``best_of_k`` points run through the batched ensemble engine and return
+a :class:`~repro.analysis.experiments.ConsensusEnsemble`.  The extension
+protocols (``noisy_best_of_k``, ``async_vs_sync``, ``zealot_best_of_k``)
+run their historical per-trial loops and return plain JSON-native dicts
+of per-trial arrays — both shapes serialise through
+:func:`repro.io.results.payload_to_dict` for the cache.
+
+Seed contract for the extension protocols
+-----------------------------------------
+Stream ``j`` of a point is ``SeedSequence(point.seed, spawn_key=
+(point.spawn_base + j,))`` (:func:`point_streams`).  Because
+``SeedSequence(root).spawn(m)[j]`` *is* ``SeedSequence(root,
+spawn_key=(j,))``, a point with ``spawn_base=0`` consumes exactly the
+streams of the historical ``spawn_generators(point.seed, m)`` loops, and
+a harness that carved one shared fan-out into per-point slices (E13's
+``spawn_generators(seed, 2·len(etas))``) names its slice by offset —
+which is what keeps the rewired experiment tables byte-identical to
+their pre-sweep loops.
 """
 
 from __future__ import annotations
@@ -20,20 +41,33 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Callable
 
+import numpy as np
+
 from repro.analysis.experiments import ConsensusEnsemble, run_consensus_ensemble
 from repro.core.dynamics import BestOfKDynamics, TieRule
 from repro.core.ensemble import run_ensemble
+from repro.core.opinions import adversarial_opinions, random_opinions
+from repro.extensions.async_dynamics import async_best_of_k_run
+from repro.extensions.noisy_dynamics import noisy_best_of_three_run
+from repro.extensions.zealots import zealot_best_of_three_run
 from repro.graphs.base import Graph
 from repro.graphs.generators import (
     erdos_renyi,
     random_regular,
     ring_lattice,
     star_polluted,
+    two_clique_bridge,
 )
 from repro.graphs.implicit import CompleteGraph, RookGraph
 from repro.sweeps.spec import HostSpec, Point
+from repro.util.rng import as_generator
 
-__all__ = ["build_host", "execute_point", "host_families"]
+__all__ = [
+    "build_host",
+    "execute_point",
+    "host_families",
+    "point_streams",
+]
 
 
 def _require_seed(params: dict, family: str):
@@ -65,6 +99,9 @@ _HOST_BUILDERS: dict[str, Callable[[dict], Graph]] = {
     ),
     "ring_lattice": lambda p: ring_lattice(p["n"], p["d"]),
     "star_polluted": lambda p: star_polluted(p["core"], p["pendants"]),
+    "two_clique_bridge": lambda p: two_clique_bridge(
+        p["half"], bridges=p.get("bridges", 1)
+    ),
 }
 
 
@@ -90,14 +127,39 @@ def build_host(host: HostSpec) -> Graph:
     return _build_host_cached(host)
 
 
-def execute_point(point: Point) -> ConsensusEnsemble:
-    """Run the ensemble a point describes and summarise it.
+def point_streams(point: Point, count: int) -> list[np.random.Generator]:
+    """The point's first *count* random streams (see the module doc).
 
-    The randomness contract matches the pre-sweep harness loops exactly:
-    ``point.seed`` goes verbatim into the engine as the root entropy, so
-    a rewired experiment reproduces its historical tables bit-for-bit.
+    Stream ``j`` is ``SeedSequence(point.seed, spawn_key=
+    (point.spawn_base + j,))``, i.e. child ``spawn_base + j`` of the
+    point's root entropy under NumPy's spawn convention.
     """
-    graph = build_host(point.host)
+    return [
+        as_generator(
+            np.random.SeedSequence(
+                point.seed, spawn_key=(point.spawn_base + j,)
+            )
+        )
+        for j in range(count)
+    ]
+
+
+def _iid_initializer(point: Point):
+    """Per-trial initial opinions for the extension protocols."""
+    if point.init.kind != "iid_delta":
+        raise ValueError(
+            f"protocol {point.protocol.kind!r} supports iid_delta inits "
+            f"only, got {point.init.kind!r}"
+        )
+    delta = point.init.delta
+
+    def init(n: int, rng: np.random.Generator) -> np.ndarray:
+        return random_opinions(n, delta, rng=rng)
+
+    return init
+
+
+def _execute_best_of_k(point: Point, graph: Graph) -> ConsensusEnsemble:
     tie = TieRule(point.protocol.tie_rule)
     k = point.protocol.k
 
@@ -115,8 +177,29 @@ def execute_point(point: Point) -> ConsensusEnsemble:
             max_steps=point.max_steps,
         )
 
+    if point.init.kind == "adversarial":
+        blue = point.init.blue
+        strategy = point.init.strategy
+
+        def initializer(n: int, rng: np.random.Generator) -> np.ndarray:
+            return adversarial_opinions(graph, blue, strategy, rng=rng)
+
+        ens = run_ensemble(
+            graph,
+            replicas=point.trials,
+            k=k,
+            tie_rule=tie,
+            seed=point.seed,
+            max_steps=point.max_steps,
+            initializer=initializer,
+            record_trajectories=False,
+        )
+        return ConsensusEnsemble.from_ensemble_result(ens)
+
     # exact_count: conditioned starts go straight through the batched
-    # engine (uniform placement per trial from spawned streams).
+    # engine (uniform placement per trial from spawned streams — the
+    # engine calls exact_count_opinions with the same per-replica
+    # streams an explicit initializer would get).
     ens = run_ensemble(
         graph,
         replicas=point.trials,
@@ -128,3 +211,121 @@ def execute_point(point: Point) -> ConsensusEnsemble:
         record_trajectories=False,
     )
     return ConsensusEnsemble.from_ensemble_result(ens)
+
+
+def _execute_noisy(point: Point, graph: Graph) -> dict:
+    """ε-noisy Best-of-3 trials; payload = per-trial stationary stats."""
+    if point.protocol.k != 3:
+        raise ValueError("noisy_best_of_k is implemented for k=3 only")
+    init = _iid_initializer(point)
+    streams = point_streams(point, 2 * point.trials)
+    stationary: list[float] = []
+    preserved: list[bool] = []
+    for j in range(point.trials):
+        opinions = init(graph.num_vertices, streams[2 * j])
+        res = noisy_best_of_three_run(
+            graph,
+            opinions,
+            point.protocol.eta,
+            seed=streams[2 * j + 1],
+            rounds=point.max_steps,
+        )
+        stationary.append(float(res.stationary_blue_fraction))
+        preserved.append(bool(res.majority_preserved))
+    return {
+        "stationary_blue_fraction": stationary,
+        "majority_preserved": preserved,
+    }
+
+
+def _execute_async_vs_sync(point: Point, graph: Graph) -> dict:
+    """Paired synchronous/asynchronous trials from shared initial states.
+
+    Trial ``j`` consumes streams ``3j`` (init), ``3j+1`` (synchronous
+    chain), ``3j+2`` (asynchronous chain) — the historical E14 layout.
+    """
+    init = _iid_initializer(point)
+    k = point.protocol.k
+    streams = point_streams(point, 3 * point.trials)
+    dyn = BestOfKDynamics(graph, k=k)
+    payload: dict = {
+        "sync": {"converged": [], "steps": [], "winners": []},
+        "async": {"converged": [], "sweeps": [], "winners": []},
+    }
+    for j in range(point.trials):
+        opinions = init(graph.num_vertices, streams[3 * j])
+        s = dyn.run(
+            opinions,
+            seed=streams[3 * j + 1],
+            max_steps=point.max_steps,
+            keep_final=False,
+        )
+        a = async_best_of_k_run(
+            graph,
+            opinions,
+            k=k,
+            seed=streams[3 * j + 2],
+            max_sweeps=point.max_steps,
+        )
+        payload["sync"]["converged"].append(bool(s.converged))
+        payload["sync"]["steps"].append(int(s.steps))
+        payload["sync"]["winners"].append(
+            int(s.winner) if s.winner is not None else None
+        )
+        payload["async"]["converged"].append(bool(a.converged))
+        payload["async"]["sweeps"].append(int(a.sweeps))
+        payload["async"]["winners"].append(
+            int(a.winner) if a.winner is not None else None
+        )
+    return payload
+
+
+def _execute_zealot(point: Point, graph: Graph) -> dict:
+    """Best-of-3 with pinned-blue zealots; payload = per-trial outcomes."""
+    if point.protocol.k != 3:
+        raise ValueError("zealot_best_of_k is implemented for k=3 only")
+    init = _iid_initializer(point)
+    z = point.protocol.zealots
+    streams = point_streams(point, 2 * point.trials)
+    outcomes: list[str] = []
+    final_blue: list[int] = []
+    for j in range(point.trials):
+        opinions = init(graph.num_vertices, streams[2 * j])
+        res = zealot_best_of_three_run(
+            graph,
+            opinions,
+            z,
+            seed=streams[2 * j + 1],
+            max_rounds=point.max_steps,
+        )
+        outcomes.append(str(res.ordinary_outcome))
+        final_blue.append(int(res.final_ordinary_blue))
+    return {
+        "ordinary_outcome": outcomes,
+        "final_ordinary_blue": final_blue,
+    }
+
+
+_PROTOCOL_RUNNERS: dict[str, Callable[[Point, Graph], "ConsensusEnsemble | dict"]] = {
+    "best_of_k": _execute_best_of_k,
+    "noisy_best_of_k": _execute_noisy,
+    "async_vs_sync": _execute_async_vs_sync,
+    "zealot_best_of_k": _execute_zealot,
+}
+
+
+def execute_point(point: Point) -> "ConsensusEnsemble | dict":
+    """Run the simulation a point describes and summarise it.
+
+    The randomness contract matches the pre-sweep harness loops exactly:
+    ``best_of_k`` points feed ``point.seed`` verbatim to the engine as
+    the root entropy; extension points consume :func:`point_streams` —
+    either way, a rewired experiment reproduces its historical tables
+    bit-for-bit.
+    """
+    graph = build_host(point.host)
+    try:
+        runner = _PROTOCOL_RUNNERS[point.protocol.kind]
+    except KeyError:  # pragma: no cover - ProtocolSpec validates kinds
+        raise ValueError(f"unknown protocol kind {point.protocol.kind!r}")
+    return runner(point, graph)

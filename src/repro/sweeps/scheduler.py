@@ -1,24 +1,33 @@
 """Sweep execution: cache probe, then fan-out over worker processes.
 
-``run_sweep`` is the one entry point.  It resolves every point of a
-:class:`~repro.sweeps.spec.SweepSpec` in order:
+``run_sweeps`` is the core entry point: it takes *many*
+:class:`~repro.sweeps.spec.SweepSpec` values and interleaves all of
+their points over **one** process pool —
 
 1. probe the cache (when given) for each point — hits cost one JSON read;
-2. execute the misses, inline for ``jobs <= 1`` or over a
-   :class:`~concurrent.futures.ProcessPoolExecutor` otherwise;
-3. write each freshly computed result back to the cache *as it lands*,
-   so an interrupted sweep resumes from its last completed point.
+2. deduplicate content-identical points across specs (two experiments
+   asking for the same simulation get one computation);
+3. execute the misses, inline for ``jobs <= 1`` or over a single shared
+   :class:`~concurrent.futures.ProcessPoolExecutor` in work-stealing
+   order (workers pull whatever point is next, whichever spec it came
+   from — a spec with one slow point no longer serialises the grid
+   behind it);
+4. write each freshly computed result back to the cache *as it lands*,
+   so an interrupted sweep resumes from its last completed point;
+5. if the cache declares a size bound (``max_mb``), run its LRU GC once
+   at the end.
 
-Results come back aligned with ``spec.points`` regardless of completion
-order, and the returned stats record the hit/miss split the acceptance
-bench and the CLI report.  Worker processes recompute nothing the parent
-already has: points are plain data, the worker function is imported by
-reference, and host graphs are memoised per process
-(:mod:`repro.sweeps.runner`).
+``run_sweep`` is the single-spec convenience wrapper.  Results come back
+aligned with each ``spec.points`` regardless of completion order, and
+the returned stats record the per-spec hit/miss split.  Worker processes
+recompute nothing the parent already has: points are plain data, the
+worker function is imported by reference, and host graphs are memoised
+per process (:mod:`repro.sweeps.runner`).
 
 Determinism: parallelism changes *where* a point runs, never its
 randomness — every point carries its own seed tuple, so ``jobs=8``
-produces bit-identical ensembles to ``jobs=1``.
+produces bit-identical ensembles to ``jobs=1``, and one global pool
+produces bit-identical results to per-spec pools.
 """
 
 from __future__ import annotations
@@ -27,26 +36,28 @@ import argparse
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
+from typing import Any, Sequence
 
-from repro.analysis.experiments import ConsensusEnsemble
 from repro.sweeps.cache import SweepCache
 from repro.sweeps.runner import execute_point
-from repro.sweeps.spec import Point, SweepSpec
+from repro.sweeps.spec import SweepSpec, canonical_json, canonical_point
 
 __all__ = [
     "SweepStats",
     "SweepOutcome",
     "run_sweep",
+    "run_sweeps",
+    "ensure_outcome",
     "add_sweep_arguments",
     "cache_from_args",
 ]
 
 
 def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
-    """Install the shared ``--jobs`` / ``--cache-dir`` / ``--no-cache`` flags.
+    """Install the shared sweep-control flags.
 
     Every CLI that runs sweeps (``repro run/report/sweep``, the
-    standalone ``python -m repro.harness.report``) takes the same three
+    standalone ``python -m repro.harness.report``) takes the same four
     controls; defining them once keeps the entry points from drifting.
     """
     parser.add_argument(
@@ -63,16 +74,31 @@ def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-cache", action="store_true", help="disable the sweep result cache"
     )
+    parser.add_argument(
+        "--cache-max-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="size bound for the sweep cache; least-recently-used entries "
+        "are evicted after each run (default: unbounded)",
+    )
 
 
 def cache_from_args(args: argparse.Namespace) -> SweepCache | None:
     """The cache those flags describe (``None`` when disabled)."""
-    return None if args.no_cache else SweepCache(args.cache_dir)
+    if args.no_cache:
+        return None
+    return SweepCache(args.cache_dir, max_mb=getattr(args, "cache_max_mb", None))
 
 
 @dataclass(frozen=True)
 class SweepStats:
-    """Execution accounting for one ``run_sweep`` call."""
+    """Execution accounting for one spec within a ``run_sweeps`` call.
+
+    ``elapsed_s`` is the wall-clock of the whole (possibly multi-spec)
+    scheduling round the spec ran in: with one shared pool there is no
+    per-spec wall-clock to report separately.
+    """
 
     points: int
     hits: int
@@ -88,66 +114,104 @@ class SweepStats:
 
 @dataclass(frozen=True)
 class SweepOutcome:
-    """Ensembles aligned with ``spec.points`` plus execution stats."""
+    """Results aligned with ``spec.points`` plus execution stats.
+
+    ``ensembles`` carries one payload per point — a
+    :class:`~repro.analysis.experiments.ConsensusEnsemble` for
+    ensemble-engine protocols, a plain dict for the extension protocols
+    (see :mod:`repro.sweeps.runner`).
+    """
 
     spec: SweepSpec
-    ensembles: tuple[ConsensusEnsemble, ...]
+    ensembles: tuple[Any, ...]
     stats: SweepStats
 
     def __iter__(self):
-        """Iterate ``(point, ensemble)`` pairs in declaration order."""
+        """Iterate ``(point, payload)`` pairs in declaration order."""
         return iter(zip(self.spec.points, self.ensembles))
 
 
-def run_sweep(
-    spec: SweepSpec,
+def run_sweeps(
+    specs: Sequence[SweepSpec],
     *,
     jobs: int = 1,
     cache: SweepCache | None = None,
-) -> SweepOutcome:
-    """Execute every point of *spec* and return aligned results.
+) -> list[SweepOutcome]:
+    """Execute every point of every spec through one shared pool.
 
     Parameters
     ----------
-    spec:
-        The declarative grid.
+    specs:
+        The declarative grids.  Points are interleaved: one global
+        work queue feeds one process pool, so ``repro report --jobs N``
+        runs all requested experiments' points through a single pool
+        instead of one sequential pool per experiment.
     jobs:
         Worker processes for the cache-missing points.  ``jobs <= 1``
-        runs inline (no pool, no pickling) — the default keeps harness
-        behaviour and cost identical to the pre-sweep loops.
+        runs inline (no pool, no pickling).
     cache:
         Optional :class:`SweepCache`.  Hits skip simulation entirely;
         misses are recomputed and stored.  ``None`` disables caching.
+
+    Returns
+    -------
+    list[SweepOutcome]
+        One outcome per spec, aligned with *specs*.  Per-spec stats
+        count every point of that spec — a point shared with another
+        spec (executed once thanks to the dedup) still counts as one
+        point/hit/miss in *each* owner, so ``stats.points`` always
+        equals ``len(spec.points)``; summing stats across specs
+        therefore over-counts executed work exactly when dedup fired.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     start = time.perf_counter()
-    results: list[ConsensusEnsemble | None] = [None] * len(spec.points)
+    specs = list(specs)
+    results: list[list[Any]] = [[None] * len(s.points) for s in specs]
+    hits = [0] * len(specs)
+    misses = [0] * len(specs)
 
-    pending: list[int] = []
-    hits = 0
-    for idx, point in enumerate(spec.points):
-        cached = cache.get(point) if cache is not None else None
-        if cached is not None:
-            results[idx] = cached
-            hits += 1
+    # Deduplicate across specs by canonical content: two specs declaring
+    # the same point (same host, protocol, init, budget, *and* seed)
+    # describe the same simulation, so it runs (and is cached) once and
+    # its payload fans back out to every owner.
+    owners: dict[str, list[tuple[int, int]]] = {}
+    unique: dict[str, Any] = {}
+    for si, spec in enumerate(specs):
+        for pi, point in enumerate(spec.points):
+            content = canonical_json(canonical_point(point))
+            if content not in owners:
+                owners[content] = []
+                unique[content] = point
+            owners[content].append((si, pi))
+
+    pending: list[str] = []
+    for content, point in unique.items():
+        payload = cache.get(point) if cache is not None else None
+        if payload is not None:
+            for si, pi in owners[content]:
+                results[si][pi] = payload
+                hits[si] += 1
         else:
-            pending.append(idx)
+            pending.append(content)
+            for si, pi in owners[content]:
+                misses[si] += 1
 
-    def _store(idx: int, ensemble: ConsensusEnsemble) -> None:
-        results[idx] = ensemble
+    def _store(content: str, payload: Any) -> None:
+        for si, pi in owners[content]:
+            results[si][pi] = payload
         if cache is not None:
-            cache.put(spec.points[idx], ensemble)
+            cache.put(unique[content], payload)
 
     if jobs <= 1 or len(pending) <= 1:
-        for idx in pending:
-            _store(idx, execute_point(spec.points[idx]))
+        for content in pending:
+            _store(content, execute_point(unique[content]))
     else:
         pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
         futures: dict = {}  # populated incrementally; read by the except path
         try:
-            for idx in pending:
-                futures[pool.submit(execute_point, spec.points[idx])] = idx
+            for content in pending:
+                futures[pool.submit(execute_point, unique[content])] = content
             # Store each result the moment it lands so a sweep killed
             # midway resumes from its last completed point.
             for fut in as_completed(futures):
@@ -158,21 +222,63 @@ def run_sweep(
             # first bank every point that did finish, so the re-run
             # resumes instead of recomputing them.
             pool.shutdown(wait=False, cancel_futures=True)
-            for fut, idx in futures.items():
+            for fut, content in futures.items():
                 if fut.done() and not fut.cancelled() and fut.exception() is None:
-                    _store(idx, fut.result())
+                    _store(content, fut.result())
             raise
         pool.shutdown(wait=True)
 
-    stats = SweepStats(
-        points=len(spec.points),
-        hits=hits,
-        misses=len(pending),
-        jobs=jobs,
-        elapsed_s=time.perf_counter() - start,
-    )
-    return SweepOutcome(
-        spec=spec,
-        ensembles=tuple(results),  # type: ignore[arg-type]
-        stats=stats,
-    )
+    if cache is not None and cache.max_mb is not None:
+        cache.gc()
+
+    elapsed = time.perf_counter() - start
+    return [
+        SweepOutcome(
+            spec=spec,
+            ensembles=tuple(results[si]),
+            stats=SweepStats(
+                points=len(spec.points),
+                hits=hits[si],
+                misses=misses[si],
+                jobs=jobs,
+                elapsed_s=elapsed,
+            ),
+        )
+        for si, spec in enumerate(specs)
+    ]
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    jobs: int = 1,
+    cache: SweepCache | None = None,
+) -> SweepOutcome:
+    """Execute every point of one *spec* (see :func:`run_sweeps`)."""
+    return run_sweeps([spec], jobs=jobs, cache=cache)[0]
+
+
+def ensure_outcome(
+    spec: SweepSpec,
+    outcome: SweepOutcome | None,
+    *,
+    jobs: int = 1,
+    cache: SweepCache | None = None,
+) -> SweepOutcome:
+    """The outcome for *spec*: validate a precomputed one, or run it.
+
+    The report path precomputes every requested experiment's grid
+    through one :func:`run_sweeps` call and hands each experiment its
+    outcome; an experiment run directly computes its own.  A precomputed
+    outcome whose spec does not match (wrong quick/seed parameters, or a
+    stale caller) is an error, not a silent source of wrong tables.
+    """
+    if outcome is None:
+        return run_sweep(spec, jobs=jobs, cache=cache)
+    if outcome.spec != spec:
+        raise ValueError(
+            f"precomputed outcome is for spec {outcome.spec.name!r} "
+            f"({len(outcome.spec.points)} points), which does not match "
+            f"the requested {spec.name!r} ({len(spec.points)} points)"
+        )
+    return outcome

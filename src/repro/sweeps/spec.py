@@ -36,6 +36,8 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Sequence
 
 __all__ = [
+    "ADVERSARIAL_STRATEGIES",
+    "PROTOCOL_KINDS",
     "HostSpec",
     "ProtocolSpec",
     "InitSpec",
@@ -97,34 +99,97 @@ class HostSpec:
         return build_host(self)
 
 
+PROTOCOL_KINDS = (
+    "best_of_k",
+    "noisy_best_of_k",
+    "async_vs_sync",
+    "zealot_best_of_k",
+)
+
+
 @dataclass(frozen=True)
 class ProtocolSpec:
-    """The voting protocol at a point: Best-of-``k`` with a tie rule."""
+    """The dynamics at a point.
+
+    Four kinds:
+
+    * ``"best_of_k"`` — the paper's synchronous Best-of-``k`` with a tie
+      rule (the ensemble-engine path);
+    * ``"noisy_best_of_k"`` — ε-noisy Best-of-3 (E13): with probability
+      ``eta`` a vertex adopts a coin flip instead of the sample majority;
+    * ``"async_vs_sync"`` — the E14 comparison: each trial runs one
+      synchronous Best-of-``k`` chain *and* one asynchronous sweep chain
+      from the same initial configuration;
+    * ``"zealot_best_of_k"`` — Best-of-3 with ``zealots`` pinned-blue
+      vertices (E15).
+
+    ``eta`` / ``zealots`` are only meaningful (and only allowed) for
+    their respective kinds, so a point cannot silently carry a parameter
+    its dynamics would ignore.
+    """
 
     kind: str = "best_of_k"
     k: int = 3
     tie_rule: str = "keep_self"  # TieRule value ("keep_self" | "random")
+    eta: float | None = None
+    zealots: int | None = None
 
     def __post_init__(self) -> None:
-        if self.kind != "best_of_k":
+        if self.kind not in PROTOCOL_KINDS:
             raise ValueError(f"unknown protocol kind {self.kind!r}")
         if self.k < 1:
             raise ValueError(f"protocol needs k >= 1, got {self.k}")
         if self.tie_rule not in ("keep_self", "random"):
             raise ValueError(f"unknown tie rule {self.tie_rule!r}")
+        if self.kind == "noisy_best_of_k":
+            if self.eta is None or not 0.0 <= self.eta <= 1.0:
+                raise ValueError(
+                    f"noisy_best_of_k needs eta in [0, 1], got {self.eta}"
+                )
+        elif self.eta is not None:
+            raise ValueError(f"eta is not a parameter of {self.kind!r}")
+        if self.kind == "zealot_best_of_k":
+            if self.zealots is None or self.zealots < 0:
+                raise ValueError(
+                    f"zealot_best_of_k needs zealots >= 0, got {self.zealots}"
+                )
+        elif self.zealots is not None:
+            raise ValueError(f"zealots is not a parameter of {self.kind!r}")
 
     @classmethod
     def best_of(cls, k: int, *, tie_rule: str = "keep_self") -> "ProtocolSpec":
         return cls(kind="best_of_k", k=k, tie_rule=tie_rule)
 
+    @classmethod
+    def noisy(cls, eta: float, *, k: int = 3) -> "ProtocolSpec":
+        return cls(kind="noisy_best_of_k", k=k, eta=float(eta))
+
+    @classmethod
+    def async_vs_sync(cls, *, k: int = 3) -> "ProtocolSpec":
+        return cls(kind="async_vs_sync", k=k)
+
+    @classmethod
+    def with_zealots(cls, zealots: int, *, k: int = 3) -> "ProtocolSpec":
+        return cls(kind="zealot_best_of_k", k=k, zealots=int(zealots))
+
+
+ADVERSARIAL_STRATEGIES = ("high_degree", "low_degree", "block", "cluster")
+
 
 @dataclass(frozen=True)
 class InitSpec:
-    """Initial opinions: i.i.d. with bias ``delta``, or an exact count."""
+    """Initial opinions: i.i.d. bias, an exact count, or adversarial.
 
-    kind: str  # "iid_delta" | "exact_count"
+    ``"adversarial"`` places exactly ``blue`` blue opinions with one of
+    the :data:`ADVERSARIAL_STRATEGIES` (E12's contrast with the paper's
+    i.i.d. hypothesis); the placement is computed on the point's host
+    graph by :func:`repro.core.opinions.adversarial_opinions`.
+    """
+
+    kind: str  # "iid_delta" | "exact_count" | "adversarial"
     delta: float | None = None
     blue: int | None = None
+    strategy: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind == "iid_delta":
@@ -139,8 +204,20 @@ class InitSpec:
                 raise ValueError("exact_count init needs blue (and no delta)")
             if self.blue < 0:
                 raise ValueError(f"blue count must be >= 0, got {self.blue}")
+        elif self.kind == "adversarial":
+            if self.blue is None or self.delta is not None:
+                raise ValueError("adversarial init needs blue (and no delta)")
+            if self.blue < 0:
+                raise ValueError(f"blue count must be >= 0, got {self.blue}")
+            if self.strategy not in ADVERSARIAL_STRATEGIES:
+                raise ValueError(
+                    f"unknown adversarial strategy {self.strategy!r}; known: "
+                    f"{', '.join(ADVERSARIAL_STRATEGIES)}"
+                )
         else:
             raise ValueError(f"unknown init kind {self.kind!r}")
+        if self.kind != "adversarial" and self.strategy is not None:
+            raise ValueError(f"strategy is not a parameter of {self.kind!r}")
 
     @classmethod
     def iid(cls, delta: float) -> "InitSpec":
@@ -150,6 +227,10 @@ class InitSpec:
     def count(cls, blue: int) -> "InitSpec":
         return cls(kind="exact_count", blue=int(blue))
 
+    @classmethod
+    def adversarial(cls, blue: int, strategy: str) -> "InitSpec":
+        return cls(kind="adversarial", blue=int(blue), strategy=strategy)
+
 
 @dataclass(frozen=True)
 class Point:
@@ -158,6 +239,16 @@ class Point:
     ``label`` is presentation-only and deliberately excluded from the
     canonical form — renaming a point must not invalidate its cache
     entry or change its derived seed.
+
+    ``spawn_base`` offsets the point's random streams: protocols that
+    consume per-trial sibling streams (the extension runners in
+    :mod:`repro.sweeps.runner`) draw stream ``j`` from
+    ``SeedSequence(seed, spawn_key=(spawn_base + j,))``.  A harness
+    whose historical loop carved one shared spawn fan-out into
+    per-point slices (E13's ``spawn_generators(seed, 2·len(etas))``)
+    declares each slice via its offset, keeping the rewired tables
+    byte-identical.  It is part of the canonical content only when
+    non-zero, so pre-existing points keep their keys and derived seeds.
     """
 
     host: HostSpec
@@ -167,38 +258,57 @@ class Point:
     max_steps: int
     seed: tuple[int, ...]
     label: str = ""
+    spawn_base: int = 0
 
     def __post_init__(self) -> None:
         if self.trials < 1:
             raise ValueError(f"trials must be >= 1, got {self.trials}")
         if self.max_steps < 1:
             raise ValueError(f"max_steps must be >= 1, got {self.max_steps}")
+        if self.spawn_base < 0:
+            raise ValueError(f"spawn_base must be >= 0, got {self.spawn_base}")
         seed = (self.seed,) if isinstance(self.seed, int) else self.seed
         object.__setattr__(self, "seed", tuple(int(s) for s in seed))
 
 
 def canonical_point(point: Point) -> dict[str, Any]:
-    """The content of *point* as a nested, JSON-native dict (no label)."""
+    """The content of *point* as a nested, JSON-native dict (no label).
+
+    Optional fields (``eta``, ``zealots``, ``strategy``, ``spawn_base``)
+    appear only when set, so points that predate them canonicalise to
+    exactly the bytes they always did — their cache keys and
+    grid-derived seeds are stable across this schema's growth.
+    """
     init: dict[str, Any] = {"kind": point.init.kind}
     if point.init.delta is not None:
         init["delta"] = point.init.delta
     if point.init.blue is not None:
         init["blue"] = point.init.blue
-    return {
+    if point.init.strategy is not None:
+        init["strategy"] = point.init.strategy
+    protocol: dict[str, Any] = {
+        "kind": point.protocol.kind,
+        "k": point.protocol.k,
+        "tie_rule": point.protocol.tie_rule,
+    }
+    if point.protocol.eta is not None:
+        protocol["eta"] = point.protocol.eta
+    if point.protocol.zealots is not None:
+        protocol["zealots"] = point.protocol.zealots
+    content: dict[str, Any] = {
         "host": {
             "family": point.host.family,
             "params": {k: _thaw(v) for k, v in point.host.params},
         },
-        "protocol": {
-            "kind": point.protocol.kind,
-            "k": point.protocol.k,
-            "tie_rule": point.protocol.tie_rule,
-        },
+        "protocol": protocol,
         "init": init,
         "trials": point.trials,
         "max_steps": point.max_steps,
         "seed": list(point.seed),
     }
+    if point.spawn_base:
+        content["spawn_base"] = point.spawn_base
+    return content
 
 
 def canonical_json(payload: Mapping[str, Any]) -> str:

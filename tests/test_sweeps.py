@@ -347,6 +347,9 @@ class TestHarnessIntegration:
         by_id = {m.experiment_id: m for m in metas}
         assert by_id["E1"].parallelizable
         assert not by_id["E5"].parallelizable
+        # The ISSUE-3 migration: E12 and the extension grids honour jobs.
+        for eid in ("E12", "E13", "E14", "E15"):
+            assert by_id[eid].parallelizable, eid
         assert all(m.title and m.paper_claim for m in metas)
         (only,) = experiment_metadata("E2")
         assert only.experiment_id == "E2" and only.parallelizable
@@ -360,6 +363,10 @@ class TestHarnessIntegration:
             ("repro.harness.e08_protocol_comparison", 7),
             ("repro.harness.e09_density_threshold", 5),
             ("repro.harness.e11_best_of_two_conditions", 6),
+            ("repro.harness.e12_adversarial_placement", 5),
+            ("repro.harness.e13_noisy_bifurcation", 6),
+            ("repro.harness.e14_async_equivalence", 3),
+            ("repro.harness.e15_zealot_threshold", 4),
         ]:
             mod = importlib.import_module(module_name)
             spec = mod.sweep_spec(quick=True, seed=0)
