@@ -1,21 +1,30 @@
-"""Ensemble-engine throughput: batched vs loop, count-chain vs dense.
+"""Ensemble-engine throughput: batched vs loop, count chains vs dense.
 
-Measures replicas/sec for the two DESIGN.md §2.3 engine ablations:
+Measures replicas/sec for the DESIGN.md §2.3/§2.5 engine ablations:
 
 * **batched vs sequential loop** — the ``(R, n)``-matrix engine against
   the old per-trial Python loop around ``BestOfKDynamics.run`` (same
   protocol, same initial-condition law);
-* **count-chain vs dense** — the exact ``K_n`` blue-count chain against
-  the per-vertex batched simulation, including a Theorem 1 verification
-  at ``n = 10⁷`` that is simply out of reach for the dense path.
+* **count chains vs dense** — the exact count-chain kernels (``K_n``,
+  complete multipartite, two-clique bridge) against the per-vertex
+  batched simulation, including Theorem 1 verifications at ``n = 10⁷``
+  (exact binomials) and ``n = 10¹⁰`` (the Gaussian regime) that are
+  simply out of reach for the dense path;
+* **flat-take gather** — the dense path's ``np.take``-over-row-offsets
+  gather against the fancy-index broadcast it replaced;
+* **shared host store** — a warm ``jobs=2`` sweep pool attaching to the
+  parent's memory-mapped CSR arrays versus regenerating the quenched
+  host per worker (rebuild counts reported).
 
-Run standalone for the full acceptance-size report::
+Run standalone for the full acceptance-size report, or with ``--quick``
+(CI) for the smoke sizes; ``--out PATH`` writes the JSON snapshot::
 
     PYTHONPATH=src python benchmarks/bench_ensemble_throughput.py
+    PYTHONPATH=src python benchmarks/bench_ensemble_throughput.py \\
+        --quick --out /tmp/BENCH_ensemble_throughput.json
 
-or via the smoke runner (writes a ``BENCH_*.json`` snapshot)::
-
-    PYTHONPATH=src python benchmarks/run_bench.py
+(``benchmarks/run_bench.py`` wraps the same reports and owns the
+committed ``BENCH_ensemble_throughput.json``.)
 
 The pytest-benchmark entries at the bottom keep these paths in the timed
 suite (`pytest benchmarks/ --benchmark-only`) at small sizes.
@@ -28,10 +37,15 @@ import time
 import numpy as np
 
 from repro.core.dynamics import BestOfKDynamics
-from repro.core.ensemble import run_ensemble
+from repro.core.ensemble import run_ensemble, step_best_of_k_batch
 from repro.core.opinions import random_opinions
 from repro.core.theorem import verify_theorem1
-from repro.graphs.implicit import CompleteGraph, RookGraph
+from repro.graphs.generators import two_clique_bridge
+from repro.graphs.implicit import (
+    CompleteGraph,
+    CompleteMultipartiteGraph,
+    RookGraph,
+)
 from repro.util.rng import spawn_generators
 
 __all__ = [
@@ -39,6 +53,10 @@ __all__ = [
     "bench_batched_vs_loop",
     "bench_count_chain_vs_dense",
     "bench_count_chain_theorem1",
+    "bench_kernel_vs_dense",
+    "bench_gaussian_theorem1",
+    "bench_dense_gather",
+    "bench_host_store",
 ]
 
 
@@ -156,6 +174,180 @@ def bench_count_chain_theorem1(*, n=10**7, trials=50, delta=0.1, seed=0):
     }
 
 
+def bench_kernel_vs_dense(*, host, replicas=100, delta=0.1, seed=0, max_steps=500):
+    """Replicas/sec: a host's exact count-chain kernel vs its dense path.
+
+    The generalised analogue of :func:`bench_count_chain_vs_dense` for
+    the non-``K_n`` kernel hosts (complete multipartite, two-clique
+    bridge) — the PR 4 headline: these families used to be stuck on the
+    bandwidth-bound dense path.
+    """
+    t_dense, res_d = _timed(
+        lambda: run_ensemble(
+            host, replicas=replicas, delta=delta, seed=seed,
+            max_steps=max_steps, record_trajectories=False, method="batched",
+        )
+    )
+    t_chain, res_c = _timed(
+        lambda: run_ensemble(
+            host, replicas=replicas, delta=delta, seed=seed,
+            max_steps=max_steps, record_trajectories=False,
+            method="count_chain",
+        )
+    )
+    return {
+        "host": type(host).__name__,
+        "kernel": type(host.count_chain_kernel()).__name__,
+        "n": host.num_vertices,
+        "replicas": replicas,
+        "delta": delta,
+        "dense_seconds": t_dense,
+        "dense_replicas_per_sec": replicas / t_dense,
+        "count_chain_seconds": t_chain,
+        "count_chain_replicas_per_sec": replicas / t_chain,
+        "count_chain_speedup_vs_dense": t_dense / t_chain,
+        "dense_converged": res_d.converged_count,
+        "count_chain_converged": res_c.converged_count,
+    }
+
+
+def bench_gaussian_theorem1(*, n=10**10, trials=30, delta=0.1, seed=0):
+    """A Theorem 1 verification beyond the exact-binomial range.
+
+    At ``n = 10¹⁰`` the chain's counts exceed 2³¹, so every round runs
+    through the Gaussian/Poisson regime of
+    :func:`repro.core.kernels.binomial_draw` — the whole verification is
+    O(R) per round and finishes in milliseconds.
+    """
+    graph = CompleteGraph(n)
+    t, verdict = _timed(
+        lambda: verify_theorem1(graph, delta, trials=trials, seed=seed)
+    )
+    return {
+        "n": n,
+        "trials": trials,
+        "delta": delta,
+        "regime": "gaussian",
+        "seconds": t,
+        "replicas_per_sec": trials / t,
+        "red_wins": verdict.red_wins,
+        "converged": verdict.converged,
+        "mean_steps": verdict.mean_steps,
+        "max_steps": verdict.max_steps,
+    }
+
+
+def bench_dense_gather(*, n=2**14, replicas=50, k=3, rounds=20, seed=0):
+    """The dense path's flat ``np.take`` gather vs the old fancy-index.
+
+    Isolates the stage the satellite task replaced — everything between
+    the neighbour draw and the tie handling — on one presampled
+    ``(R, n, k)`` id tensor: the old advanced-indexing broadcast
+    ``opinions[arange(R)[:, None, None], samples]`` plus allocating
+    reductions, against the in-place row-offset shift + flat ``np.take``
+    + preallocated reductions the engine now runs.  (Whole rounds are
+    sampling-bound, so the end-to-end engine delta is smaller than this
+    stage-level ratio; both are recorded in the snapshot via the
+    ``batched_*`` entries.)
+    """
+    graph = RookGraph(int(np.sqrt(n)))
+    n = graph.num_vertices
+    batch = np.stack(
+        [random_opinions(n, 0.1, rng=(seed, i)) for i in range(replicas)]
+    )
+    half = k // 2
+    rng = np.random.default_rng(seed)
+    samples = graph.sample_neighbors_batch(graph.vertex_ids, k, rng, replicas)
+    flat_ops = batch.reshape(-1)
+    offsets = (np.arange(replicas, dtype=samples.dtype) * n)[:, None, None]
+    idx_buf = np.empty_like(samples)
+    gathered = np.empty((replicas, n, k), dtype=batch.dtype)
+    votes = np.empty((replicas, n), dtype=np.uint8)
+    out = np.empty_like(batch)
+
+    def legacy_gather():
+        for _ in range(rounds):
+            g = batch[np.arange(replicas)[:, None, None], samples]
+            v = g.sum(axis=2, dtype=np.uint8)
+            (v > half)
+
+    def flat_take_gather():
+        for _ in range(rounds):
+            np.copyto(idx_buf, samples)
+            np.add(idx_buf, offsets, out=idx_buf)
+            np.take(flat_ops, idx_buf, out=gathered)
+            np.sum(gathered, axis=2, dtype=np.uint8, out=votes)
+            np.greater(votes, half, out=out)
+
+    legacy_gather()  # warm both paths before timing
+    flat_take_gather()
+    t_legacy, _ = _timed(legacy_gather)
+    t_flat, _ = _timed(flat_take_gather)
+    return {
+        "host": "RookGraph",
+        "n": n,
+        "replicas": replicas,
+        "k": k,
+        "rounds": rounds,
+        "fancy_index_seconds": t_legacy,
+        "flat_take_seconds": t_flat,
+        "flat_take_speedup": t_legacy / t_flat,
+    }
+
+
+def bench_host_store(*, n=2048, p=0.1, points=6, trials=4, jobs=2, seed=0):
+    """Warm-pool sweep: shared host store vs per-worker regeneration.
+
+    Runs the same quenched-ER grid twice with ``jobs`` workers — first
+    with host sharing disabled (every worker regenerates the graph),
+    then with the shared memory-mapped store (workers attach zero-copy).
+    The rebuild counts are the acceptance metric: with the store, worker
+    processes build **zero** quenched hosts.
+    """
+    from repro.sweeps import (
+        HostSpec,
+        InitSpec,
+        Point,
+        ProtocolSpec,
+        SweepSpec,
+        run_sweep,
+    )
+
+    spec = SweepSpec(
+        name="bench_host_store",
+        points=tuple(
+            Point(
+                host=HostSpec.of("erdos_renyi", n=n, p=p, seed=(seed, 77)),
+                protocol=ProtocolSpec.best_of(3),
+                init=InitSpec.iid(0.1),
+                trials=trials,
+                max_steps=500,
+                seed=(seed, i),
+            )
+            for i in range(points)
+        ),
+    )
+    # Order matters: the no-store run goes first so the parent process
+    # has not built (and therefore cannot fork-inherit) the host yet —
+    # its workers must regenerate, which is exactly the cost the store
+    # removes.
+    t_rebuild, no_store = _timed(
+        lambda: run_sweep(spec, jobs=jobs, share_hosts=False)
+    )
+    t_attach, with_store = _timed(lambda: run_sweep(spec, jobs=jobs))
+    return {
+        "host": f"erdos_renyi(n={n}, p={p})",
+        "points": points,
+        "jobs": jobs,
+        "no_store_seconds": t_rebuild,
+        "no_store_worker_rebuilds": no_store.stats.host_builds,
+        "store_seconds": t_attach,
+        "store_hosts_published": with_store.stats.hosts_published,
+        "store_worker_rebuilds": with_store.stats.host_builds,
+        "store_worker_attaches": with_store.stats.host_attaches,
+    }
+
+
 def full_report():
     """The acceptance-size measurements (ISSUE 1 criteria)."""
     return {
@@ -168,17 +360,37 @@ def full_report():
         "count_chain_vs_dense_Kn_2e16": bench_count_chain_vs_dense(
             n=2**16, replicas=100, delta=0.1, seed=0
         ),
+        "count_chain_vs_dense_multipartite": bench_kernel_vs_dense(
+            host=CompleteMultipartiteGraph([2**13] * 8), replicas=100, seed=0
+        ),
+        "count_chain_vs_dense_bridge": bench_kernel_vs_dense(
+            host=two_clique_bridge(2**13), replicas=100, seed=0
+        ),
         "count_chain_theorem1_1e7": bench_count_chain_theorem1(
             n=10**7, trials=50, delta=0.1, seed=0
+        ),
+        "gaussian_theorem1_1e10": bench_gaussian_theorem1(
+            n=10**10, trials=30, delta=0.1, seed=0
+        ),
+        "dense_gather_flat_take": bench_dense_gather(
+            n=2**14, replicas=50, rounds=20, seed=0
+        ),
+        "sweep_host_store": bench_host_store(
+            n=2048, p=0.1, points=6, jobs=2, seed=0
         ),
     }
 
 
 def smoke_report():
-    """Small sizes for CI smoke runs (same shape as :func:`full_report`)."""
+    """Small sizes for CI smoke runs (same shape as :func:`full_report`).
+
+    The ``K_n`` engine-vs-loop entry runs at ``n = 2¹⁵`` — large enough
+    that the ≥100× count-chain regression guard in CI has real margin
+    (the speedup grows with ``n``; at 2¹² it sits near the threshold).
+    """
     return {
-        "batched_vs_loop_Kn_2e12": bench_batched_vs_loop(
-            n=2**12, replicas=50, delta=0.1, seed=0
+        "batched_vs_loop_Kn_2e15": bench_batched_vs_loop(
+            n=2**15, replicas=50, delta=0.1, seed=0
         ),
         "batched_vs_loop_rook": bench_batched_vs_loop(
             n=2**10, replicas=50, delta=0.1, seed=0, host="rook"
@@ -186,8 +398,23 @@ def smoke_report():
         "count_chain_vs_dense_Kn_2e12": bench_count_chain_vs_dense(
             n=2**12, replicas=50, delta=0.1, seed=0
         ),
+        "count_chain_vs_dense_multipartite": bench_kernel_vs_dense(
+            host=CompleteMultipartiteGraph([2**10] * 4), replicas=50, seed=0
+        ),
+        "count_chain_vs_dense_bridge": bench_kernel_vs_dense(
+            host=two_clique_bridge(2**10), replicas=50, seed=0
+        ),
         "count_chain_theorem1_1e6": bench_count_chain_theorem1(
             n=10**6, trials=20, delta=0.1, seed=0
+        ),
+        "gaussian_theorem1_1e10": bench_gaussian_theorem1(
+            n=10**10, trials=20, delta=0.1, seed=0
+        ),
+        "dense_gather_flat_take": bench_dense_gather(
+            n=2**12, replicas=50, rounds=20, seed=0
+        ),
+        "sweep_host_store": bench_host_store(
+            n=1024, p=0.1, points=4, jobs=2, seed=0
         ),
     }
 
@@ -235,15 +462,54 @@ def _print(title, stats):
         print(f"  {key:32s} {val}")
 
 
-if __name__ == "__main__":
-    report = full_report()
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+    import json
+    from pathlib import Path
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke sizes (the CI configuration) instead of acceptance sizes",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="also write the report as a JSON snapshot to PATH",
+    )
+    args = parser.parse_args(argv)
+    report = smoke_report() if args.quick else full_report()
     for name, stats in report.items():
         _print(name, stats)
-    kn = report["batched_vs_loop_Kn_2e16"]
-    t1 = report["count_chain_theorem1_1e7"]
+    kn = report[
+        "batched_vs_loop_Kn_2e15" if args.quick else "batched_vs_loop_Kn_2e16"
+    ]
+    t1 = report[
+        "count_chain_theorem1_1e6" if args.quick else "count_chain_theorem1_1e7"
+    ]
     print(
-        f"\nacceptance: engine-vs-loop speedup at K_n n=2^16, R=100: "
-        f"{kn['engine_auto_speedup_vs_loop']:.1f}x "
-        f"(criterion: >= 10x); Theorem 1 at n=10^7: {t1['seconds']:.2f}s "
-        "(criterion: seconds)"
+        f"\nacceptance: engine-vs-loop speedup on K_n: "
+        f"{kn['engine_auto_speedup_vs_loop']:.1f}x (CI guard: >= 100x); "
+        f"exact-regime Theorem 1: {t1['seconds']:.2f}s; Gaussian-regime "
+        f"Theorem 1 at n=10^10: "
+        f"{report['gaussian_theorem1_1e10']['seconds']:.3f}s"
     )
+    if args.out is not None:
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        snapshot = {
+            "benchmark": "ensemble_throughput",
+            "mode": "smoke" if args.quick else "full",
+            "results": report,
+        }
+        out_path.write_text(
+            json.dumps(snapshot, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,6 +32,13 @@ from repro.core.ensemble import (
     run_ensemble,
     step_best_of_k_batch,
 )
+from repro.core.kernels import (
+    CompleteKernel,
+    CountChainKernel,
+    MultipartiteKernel,
+    TwoCliqueBridgeKernel,
+    binomial_draw,
+)
 from repro.core.meanfield import (
     best_of_k_hitting_time,
     best_of_k_map,
@@ -91,6 +98,11 @@ __all__ = [
     "step_best_of_k_batch",
     "count_chain_step",
     "majority_win_probability",
+    "binomial_draw",
+    "CountChainKernel",
+    "CompleteKernel",
+    "MultipartiteKernel",
+    "TwoCliqueBridgeKernel",
     "best_of_k_map",
     "best_of_k_trajectory",
     "best_of_k_hitting_time",

@@ -9,36 +9,46 @@ that with a single engine that advances all live replicas together
 
 * **Batched dense path** — the ensemble state is one ``(R, n)`` ``uint8``
   matrix; one round is one batched neighbour draw
-  (:meth:`repro.graphs.Graph.sample_neighbors_batch`), one gather, and one
-  row reduction for *all* live replicas.  Absorbed replicas are compacted
-  out of the matrix so finished runs stop costing work, and the sample
-  tensor is chunked along the replica axis (with an ``int32`` index path
-  for ``n < 2**31``) to bound peak memory at large ``n·k·R``.
-* **Exact count-chain fast path** — on :class:`~repro.graphs.CompleteGraph`
-  the configuration beyond the blue count ``B`` is irrelevant: conditioned
-  on ``B``, every vertex in a colour class updates independently with the
-  same Bernoulli law, so one round of ``R`` replicas is four vectorised
-  binomial operations (``B' = Bin(B, q_blue) + Bin(n−B, q_red)``) — O(1)
-  work per replica per round instead of O(n·k) memory traffic.  The chain
-  is *exactly* distributed like the dense simulation's blue-count chain
-  (not an approximation), which makes ``n = 10⁸``-scale Theorem 1 sweeps
-  feasible.
+  (:meth:`repro.graphs.Graph.sample_neighbors_batch`), one flat
+  ``np.take`` gather over precomputed row offsets, and one row reduction
+  for *all* live replicas.  Absorbed replicas are compacted out of the
+  matrix so finished runs stop costing work; the sample tensor is chunked
+  along the replica axis (with an ``int32`` index path for ``n < 2**31``)
+  to bound peak memory at large ``n·k·R``, and the per-chunk scratch
+  (sample ids, gathered opinions, vote counts) is preallocated once per
+  round and reused across chunks.
+* **Exact count-chain fast path** — hosts made of exchangeable parts
+  (``K_n``, complete multipartite families, the two-clique bridge with
+  its explicitly tracked bridge endpoints) advertise a
+  :class:`~repro.core.kernels.CountChainKernel`: conditioned on the
+  per-part blue counts the configuration is irrelevant, so one round of
+  ``R`` replicas is a handful of vectorised binomial operations — O(parts)
+  work per replica per round instead of O(n·k) memory traffic.  The
+  chains are *exactly* distributed like the dense simulation's count
+  process (not an approximation), and their binomials switch to
+  :func:`~repro.core.kernels.binomial_draw`'s Gaussian/Poisson regime
+  above 2³¹, which makes ``n = 10¹⁰``-scale Theorem 1 sweeps feasible.
 
 Randomness: the engine consumes one generator for the whole batch, so
 results are deterministic given a seed but not bitwise-identical to the
 old sequential loop; equivalence is distributional (covered by
-``tests/test_core_ensemble.py``).
+``tests/test_core_ensemble.py`` and ``tests/test_count_chain_kernels.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from math import comb
 from typing import Callable, Literal
 
 import numpy as np
 
 from repro.core.dynamics import TieRule
+from repro.core.kernels import (
+    CountChainKernel,
+    binomial_draw,
+    count_chain_step,
+    majority_win_probability,
+)
 from repro.core.opinions import (
     BLUE,
     OPINION_DTYPE,
@@ -47,7 +57,6 @@ from repro.core.opinions import (
     random_opinions,
 )
 from repro.graphs.base import Graph
-from repro.graphs.implicit import CompleteGraph
 from repro.util.rng import SeedLike, as_generator, spawn_generators
 from repro.util.validation import check_in_range, check_positive_int
 
@@ -55,6 +64,7 @@ __all__ = [
     "DEFAULT_BATCH_BYTES",
     "EnsembleResult",
     "majority_win_probability",
+    "binomial_draw",
     "count_chain_step",
     "step_best_of_k_batch",
     "run_ensemble",
@@ -166,79 +176,6 @@ class EnsembleResult:
 
 
 # ----------------------------------------------------------------------
-# Count-chain fast path (exact on K_n)
-# ----------------------------------------------------------------------
-
-
-def majority_win_probability(
-    p: np.ndarray | float,
-    k: int,
-    *,
-    tie_rule: TieRule = TieRule.KEEP_SELF,
-    own: int | None = None,
-) -> np.ndarray:
-    """P(a vertex turns blue | each of its ``k`` draws is blue w.p. ``p``).
-
-    The Best-of-k update seen from one vertex: the blue-vote count is
-    ``V ~ Bin(k, p)`` and the vertex adopts blue iff ``2V > k``, plus the
-    tie contribution at ``2V = k`` for even ``k`` (``own`` — the vertex's
-    current colour — decides ties under ``KEEP_SELF``).  Vectorised over
-    ``p``; exact for any ``k`` via the binomial mass sum (``k`` is tiny in
-    every protocol, so the loop over vote counts is O(k) scalar work).
-    """
-    k = check_positive_int(k, "k")
-    p_arr = np.clip(np.asarray(p, dtype=np.float64), 0.0, 1.0)
-    q_arr = 1.0 - p_arr
-    total = np.zeros_like(p_arr)
-    for j in range(k // 2 + 1, k + 1):
-        total += comb(k, j) * p_arr**j * q_arr ** (k - j)
-    if k % 2 == 0:
-        tie = comb(k, k // 2) * p_arr ** (k // 2) * q_arr ** (k // 2)
-        if tie_rule is TieRule.RANDOM:
-            total += 0.5 * tie
-        elif tie_rule is TieRule.KEEP_SELF:
-            if own is None:
-                raise ValueError(
-                    "even k with KEEP_SELF ties needs the vertex's own "
-                    "colour (own=RED or own=BLUE)"
-                )
-            if own == BLUE:
-                total += tie
-        else:  # pragma: no cover - exhaustiveness guard
-            raise ValueError(f"unknown tie rule {tie_rule!r}")
-    return total
-
-
-def count_chain_step(
-    blue_counts: np.ndarray,
-    n: int,
-    k: int,
-    rng: np.random.Generator,
-    *,
-    tie_rule: TieRule = TieRule.KEEP_SELF,
-) -> np.ndarray:
-    """One exact Best-of-k round of the ``K_n`` blue-count chain.
-
-    Conditioned on the current count ``B``, every blue vertex samples blue
-    with probability ``(B−1)/(n−1)`` and every red vertex with ``B/(n−1)``
-    (with-replacement draws from the other ``n−1`` vertices), and all
-    vertices update independently — so the next count is exactly
-
-        ``B' = Bin(B, q_blue) + Bin(n−B, q_red)``
-
-    with ``q`` the majority probabilities of
-    :func:`majority_win_probability`.  Vectorised over a replica axis:
-    *blue_counts* is ``(R,)`` and one call advances every replica.
-    """
-    B = np.asarray(blue_counts, dtype=np.int64)
-    p_blue = (B - 1) / (n - 1)
-    p_red = B / (n - 1)
-    q_blue = majority_win_probability(p_blue, k, tie_rule=tie_rule, own=BLUE)
-    q_red = majority_win_probability(p_red, k, tie_rule=tie_rule, own=RED)
-    return rng.binomial(B, q_blue) + rng.binomial(n - B, q_red)
-
-
-# ----------------------------------------------------------------------
 # Batched dense round
 # ----------------------------------------------------------------------
 
@@ -259,6 +196,14 @@ def step_best_of_k_batch(
     independently (each gets its own neighbour draws) but in one set of
     vectorised kernels.  The sample tensor is processed in replica chunks
     sized so the per-chunk scratch stays under *max_batch_bytes*.
+
+    The per-chunk gather is a flat ``np.take`` over the row-major opinion
+    buffer: sample ids are shifted by precomputed row offsets *in place*
+    (reusing the sample buffer as the flat-index buffer) instead of the
+    old ``opinions[arange[:, None, None], samples]`` fancy-index path,
+    which built an advanced-indexing broadcast per chunk.  The gathered
+    opinions and vote counts land in scratch buffers allocated once per
+    call and reused across chunks.  Elementwise results are identical.
     """
     n = graph.num_vertices
     if opinions.ndim != 2 or opinions.shape[1] != n:
@@ -279,15 +224,33 @@ def step_best_of_k_batch(
     vote_dtype = np.uint8 if k < 256 else np.int64
     half = k // 2  # votes > half <=> strict blue majority, for any parity
     chunk = max(1, int(max_batch_bytes) // max(n * k * _BYTES_PER_SAMPLE, 1))
+    chunk = min(chunk, replicas)
+    # Flat row-major view for the np.take gather (copies only when the
+    # caller passed a non-contiguous matrix; the engine's buffers are
+    # contiguous).
+    flat_ops = np.ascontiguousarray(opinions).reshape(-1)
+    # Row offsets can exceed int32 when R·n does even though ids fit.
+    offset_dtype = (
+        np.int64 if replicas * n > np.iinfo(np.int32).max else np.int32
+    )
+    gathered = np.empty((chunk, n, k), dtype=OPINION_DTYPE)
+    votes = np.empty((chunk, n), dtype=vote_dtype)
     for lo in range(0, replicas, chunk):
         hi = min(lo + chunk, replicas)
         rows = hi - lo
         samples = graph.sample_neighbors_batch(vertices, k, rng, rows)
-        gathered = opinions[lo:hi][np.arange(rows)[:, None, None], samples]
-        votes = gathered.sum(axis=2, dtype=vote_dtype)
-        out[lo:hi] = votes > half
+        offsets = np.arange(lo, hi, dtype=offset_dtype) * n
+        if np.can_cast(offset_dtype, samples.dtype):
+            samples += offsets[:, None, None].astype(samples.dtype)
+            flat_idx = samples
+        else:
+            flat_idx = samples.astype(offset_dtype)
+            flat_idx += offsets[:, None, None]
+        np.take(flat_ops, flat_idx, out=gathered[:rows])
+        np.sum(gathered[:rows], axis=2, dtype=vote_dtype, out=votes[:rows])
+        np.greater(votes[:rows], half, out=out[lo:hi])
         if k % 2 == 0:
-            tied = votes == half
+            tied = votes[:rows] == half
             if tie_rule is TieRule.KEEP_SELF:
                 out[lo:hi][tied] = opinions[lo:hi][tied]
             elif tie_rule is TieRule.RANDOM:
@@ -334,14 +297,17 @@ def run_ensemble(
     * ``initial_opinions`` — an explicit ``(R, n)`` (or broadcastable
       ``(n,)``) opinion matrix;
     * ``initial_blue_counts`` — exact initial counts (scalar or ``(R,)``);
-      uniform placement on the dense path, count-only on the chain path.
+      uniform placement on the dense path, split across a kernel's slots
+      by the uniform-placement law on the chain path.
 
-    ``method="auto"`` routes :class:`~repro.graphs.CompleteGraph` hosts to
-    the exact count-chain unless per-vertex output (``keep_final``) is
-    requested; every other host uses the batched dense path.  On ``K_n``
-    the routing is lossless for counts, consensus times, and winners: the
-    update law conditioned on the configuration depends only on the blue
-    count, whatever the placement.
+    ``method="auto"`` routes any host that advertises a
+    :meth:`~repro.graphs.Graph.count_chain_kernel` (``K_n``, complete
+    bipartite/multipartite families, the two-clique bridge) to its exact
+    count chain unless per-vertex output (``keep_final``) is requested;
+    every other host uses the batched dense path.  The routing is
+    lossless for counts, consensus times, and winners: conditioned on the
+    kernel's slot counts, the host's update law does not depend on the
+    placement within slots, whatever the initial condition.
     """
     replicas = check_positive_int(replicas, "replicas")
     k = check_positive_int(k, "k")
@@ -368,29 +334,30 @@ def run_ensemble(
     init_ss, dyn_ss = spawn_generators(seed, 2)
     rng = as_generator(dyn_ss)
 
+    kernel = graph.count_chain_kernel()
     if method == "auto":
         method = (
-            "count_chain"
-            if isinstance(graph, CompleteGraph) and not keep_final
-            else "batched"
+            "count_chain" if kernel is not None and not keep_final else "batched"
         )
     if method == "count_chain":
-        if not isinstance(graph, CompleteGraph):
+        if kernel is None:
             raise ValueError(
-                "the count-chain fast path is exact only on CompleteGraph; "
-                f"got {type(graph).__name__} (use method='batched')"
+                f"{type(graph).__name__} advertises no exact count-chain "
+                "kernel (only exchangeable-part hosts such as CompleteGraph, "
+                "complete multipartite families, and the two-clique bridge "
+                "do); use method='batched'"
             )
         if keep_final:
             raise ValueError(
                 "the count-chain path tracks counts only; keep_final "
                 "requires method='batched'"
             )
-        counts0 = _initial_counts(
-            n, replicas, init_ss, delta, initializer, initial_opinions,
+        state0 = _initial_kernel_state(
+            kernel, replicas, init_ss, delta, initializer, initial_opinions,
             initial_blue_counts,
         )
         return _run_count_chain(
-            n, k, tie_rule, counts0, rng, max_steps, record_trajectories
+            kernel, k, tie_rule, state0, rng, max_steps, record_trajectories
         )
     if method != "batched":
         raise ValueError(
@@ -449,8 +416,8 @@ def _initial_matrix(
     return mat
 
 
-def _initial_counts(
-    n: int,
+def _initial_kernel_state(
+    kernel: CountChainKernel,
     replicas: int,
     init_ss,
     delta,
@@ -458,18 +425,13 @@ def _initial_counts(
     initial_opinions,
     initial_blue_counts,
 ) -> np.ndarray:
-    """Initial blue counts ``(R,)`` without materialising opinions when
+    """Initial ``(R, slots)`` kernel state, avoiding O(R·n) memory when
     possible (the whole point of the chain path at large ``n``)."""
-    if initial_blue_counts is not None:
-        counts = np.broadcast_to(
-            np.asarray(initial_blue_counts, dtype=np.int64), (replicas,)
-        ).copy()
-        if counts.min() < 0 or counts.max() > n:
-            raise ValueError(
-                f"initial blue counts must lie in [0, {n}], got range "
-                f"[{counts.min()}, {counts.max()}]"
-            )
-        return counts
+    if delta is not None or initial_blue_counts is not None:
+        return kernel.initial_state(
+            replicas, init_ss, delta=delta, blue_counts=initial_blue_counts
+        )
+    n = kernel.n
     if initial_opinions is not None:
         mat = np.asarray(initial_opinions)
         if mat.ndim == 1:
@@ -478,69 +440,69 @@ def _initial_counts(
                     f"initial_opinions must have shape ({replicas}, {n}) or "
                     f"({n},), got {mat.shape}"
                 )
-            return np.full(
-                replicas, int(np.count_nonzero(mat)), dtype=np.int64
+            # Shared row: project once, repeat — never materialise (R, n).
+            return np.repeat(
+                kernel.state_from_opinions(mat[None, :]), replicas, axis=0
             )
         if mat.shape != (replicas, n):
             raise ValueError(
                 f"initial_opinions must have shape ({replicas}, {n}) or "
                 f"({n},), got {mat.shape}"
             )
-        return np.count_nonzero(mat, axis=1).astype(np.int64)
+        return kernel.state_from_opinions(mat)
+    # Initialiser: materialise one replica row at a time and project; the
+    # chain is exact conditioned on any placement's slot counts.
     gens = spawn_generators(init_ss, replicas)
-    if delta is not None:
-        # B_0 ~ Bin(n, 1/2 − δ): the exact count law of random_opinions,
-        # drawn directly so n = 10^8 replicas never allocate O(n) memory.
-        return np.array(
-            [gen.binomial(n, 0.5 - delta) for gen in gens], dtype=np.int64
-        )
-    counts = np.empty(replicas, dtype=np.int64)
+    state = np.empty((replicas, kernel.num_slots), dtype=np.int64)
     for i, gen in enumerate(gens):
         row = np.asarray(initializer(n, gen))
         if row.shape != (n,):
             raise ValueError(
                 f"initializer returned shape {row.shape}, expected ({n},)"
             )
-        counts[i] = int(np.count_nonzero(row))
-    return counts
+        state[i] = kernel.state_from_opinions(row[None, :])[0]
+    return state
 
 
 def _run_count_chain(
-    n: int,
+    kernel: CountChainKernel,
     k: int,
     tie_rule: TieRule,
-    counts0: np.ndarray,
+    state0: np.ndarray,
     rng: np.random.Generator,
     max_steps: int,
     record_trajectories: bool,
 ) -> EnsembleResult:
-    replicas = counts0.size
+    n = kernel.n
+    replicas = state0.shape[0]
+    totals0 = kernel.blue_totals(state0)
     steps = np.zeros(replicas, dtype=np.int64)
     winners = np.full(replicas, -1, dtype=np.int64)
     converged = np.zeros(replicas, dtype=bool)
     traj: list[list[int]] | None = (
-        [[int(c)] for c in counts0] if record_trajectories else None
+        [[int(c)] for c in totals0] if record_trajectories else None
     )
-    absorbed = (counts0 == 0) | (counts0 == n)
+    absorbed = (totals0 == 0) | (totals0 == n)
     converged[absorbed] = True
-    winners[absorbed] = np.where(counts0[absorbed] == n, BLUE, RED)
+    winners[absorbed] = np.where(totals0[absorbed] == n, BLUE, RED)
     live = np.nonzero(~absorbed)[0]
-    counts = counts0[live]
+    state = state0[live]
     t = 0
     while live.size and t < max_steps:
-        counts = count_chain_step(counts, n, k, rng, tie_rule=tie_rule)
+        state = kernel.step(state, k, rng, tie_rule=tie_rule)
+        totals = kernel.blue_totals(state)
         t += 1
         if traj is not None:
-            for idx, c in zip(live, counts):
+            for idx, c in zip(live, totals):
                 traj[idx].append(int(c))
-        done = (counts == 0) | (counts == n)
+        done = (totals == 0) | (totals == n)
         if done.any():
             hit = live[done]
             converged[hit] = True
             steps[hit] = t
-            winners[hit] = np.where(counts[done] == n, BLUE, RED)
+            winners[hit] = np.where(totals[done] == n, BLUE, RED)
             live = live[~done]
-            counts = counts[~done]
+            state = state[~done]
     if live.size:
         steps[live] = t
     return EnsembleResult(

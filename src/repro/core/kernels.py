@@ -1,0 +1,512 @@
+"""Exact count-chain kernels for exchangeable-part hosts.
+
+PR 1 special-cased ``K_n``: conditioned on the blue count, every vertex
+updates independently with a law that depends only on its colour, so one
+Best-of-k round of ``R`` replicas is a handful of vectorised binomial
+draws — O(1) work per replica per round instead of O(n·k) memory
+traffic.  This module generalises that observation into a host-generic
+protocol (DESIGN.md §2.5):
+
+* a host whose vertex set splits into **exchangeable parts** (every
+  vertex of a part sees the same neighbourhood *as a multiset of
+  parts*) admits an exact per-part count chain — the future law of the
+  per-part blue counts depends on the configuration only through those
+  counts;
+* a host that is exchangeable *up to a few special vertices* (the
+  two-clique bridge: two cliques are exchangeable, the ``2·bridges``
+  bridge endpoints are not) tracks the special vertices explicitly
+  alongside the part chains — still exact, still O(parts) per round.
+
+State contract
+--------------
+A kernel's ensemble state is one ``(R, num_slots)`` ``int64`` matrix.
+Each column is either a part's blue count or one explicit vertex's
+colour (0/1), so
+
+* the blue **total** of replica ``r`` is ``state[r].sum()`` (absorption
+  is ``total in {0, n}``), and
+* replica compaction is plain boolean row selection —
+
+which lets :func:`repro.core.ensemble.run_ensemble` drive every kernel
+through one generic loop.
+
+Mega-``n`` rounds
+-----------------
+The chains' only per-round cost that grows with ``n`` is the binomial
+sampler.  :func:`binomial_draw` keeps rounds exact-to-float beyond the
+32-bit count range (where NumPy's exact samplers historically cap out)
+by switching per element to moment-matched Gaussian draws, with Poisson
+tails where the normal approximation degrades — unlocking Theorem 1
+checks at ``n = 10¹⁰`` and beyond.
+"""
+
+from __future__ import annotations
+
+import abc
+from math import comb
+
+import numpy as np
+
+from repro.core.dynamics import TieRule
+from repro.core.opinions import BLUE, RED
+from repro.util.rng import spawn_generators
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "GAUSSIAN_REGIME_THRESHOLD",
+    "binomial_draw",
+    "majority_win_probability",
+    "count_chain_step",
+    "CountChainKernel",
+    "CompleteKernel",
+    "MultipartiteKernel",
+    "TwoCliqueBridgeKernel",
+]
+
+
+GAUSSIAN_REGIME_THRESHOLD = 2**31 - 1
+"""Largest per-draw count handed to NumPy's exact binomial sampler.
+
+Counts above this switch to the Gaussian/Poisson regime of
+:func:`binomial_draw`.  The default is the 32-bit boundary where exact
+binomial sampling historically stops being portable; lowering it (tests
+do) forces the approximate regime onto ranges where the exact sampler
+still works, which is how the two are checked against each other.
+"""
+
+_POISSON_TAIL_MEAN = 1e4
+"""Mean below which a mega-count binomial tail uses Poisson, not Gauss.
+
+With ``n > 2³¹`` and ``n·p ≤ 10⁴`` the binomial is within total
+variation ``O(p·n·p) ≈ 10⁴/n < 10⁻⁵`` of Poisson(``n·p``), while the
+normal approximation's skew error is still visible; above it the CLT
+error ``O(1/√(n·p·(1−p)))`` is below ``1%`` and shrinking."""
+
+
+def binomial_draw(
+    rng: np.random.Generator,
+    counts: np.ndarray | int,
+    p: np.ndarray | float,
+    *,
+    threshold: int = GAUSSIAN_REGIME_THRESHOLD,
+) -> np.ndarray:
+    """``Bin(counts, p)`` draws that stay exact-to-float at mega counts.
+
+    Elementwise over broadcast ``counts``/``p``:
+
+    * ``counts <= threshold`` — NumPy's exact sampler, bit-identical to
+      calling ``rng.binomial`` directly (the whole call collapses to one
+      such draw when no element exceeds the threshold, so pre-existing
+      streams are unchanged);
+    * ``counts > threshold`` with ``counts·p ≤ 10⁴`` — Poisson(``n·p``)
+      (low tail), or ``counts − Poisson(n·(1−p))`` (high tail);
+    * otherwise — ``round(n·p + √(n·p·(1−p))·Z)`` clipped to
+      ``[0, counts]``.
+
+    The approximate regimes match the binomial to float64 resolution in
+    the only statistics the chains consume (all moments that are
+    resolvable against the ``√(npq) ≈ 10⁴·n/2³¹`` noise floor), which is
+    what makes mega-``n`` rounds "exact-to-float".
+    """
+    counts_any = np.asarray(counts)
+    if counts_any.size == 0 or int(counts_any.max(initial=0)) <= threshold:
+        return rng.binomial(counts, p)
+    counts_b, p_b = np.broadcast_arrays(
+        np.asarray(counts, dtype=np.int64), np.asarray(p, dtype=np.float64)
+    )
+    out = np.empty(counts_b.shape, dtype=np.int64)
+    small = counts_b <= threshold
+    if small.any():
+        out[small] = rng.binomial(counts_b[small], p_b[small])
+    big = ~small
+    n_big = counts_b[big]
+    n_f = n_big.astype(np.float64)
+    p_big = np.clip(p_b[big], 0.0, 1.0)
+    mean = n_f * p_big
+    comp = n_f - mean  # n·(1−p)
+    vals = np.empty(n_big.shape, dtype=np.int64)
+    lo = mean <= _POISSON_TAIL_MEAN
+    hi = (comp <= _POISSON_TAIL_MEAN) & ~lo
+    mid = ~(lo | hi)
+    if lo.any():
+        vals[lo] = np.minimum(rng.poisson(mean[lo]), n_big[lo])
+    if hi.any():
+        vals[hi] = n_big[hi] - np.minimum(rng.poisson(comp[hi]), n_big[hi])
+    if mid.any():
+        std = np.sqrt(mean[mid] * (1.0 - p_big[mid]))
+        draw = np.rint(mean[mid] + std * rng.standard_normal(int(mid.sum())))
+        np.clip(draw, 0.0, n_f[mid], out=draw)
+        vals[mid] = draw.astype(np.int64)
+    out[big] = vals
+    return out
+
+
+def majority_win_probability(
+    p: np.ndarray | float,
+    k: int,
+    *,
+    tie_rule: TieRule = TieRule.KEEP_SELF,
+    own: int | None = None,
+) -> np.ndarray:
+    """P(a vertex turns blue | each of its ``k`` draws is blue w.p. ``p``).
+
+    The Best-of-k update seen from one vertex: the blue-vote count is
+    ``V ~ Bin(k, p)`` and the vertex adopts blue iff ``2V > k``, plus the
+    tie contribution at ``2V = k`` for even ``k`` (``own`` — the vertex's
+    current colour — decides ties under ``KEEP_SELF``).  Vectorised over
+    ``p``; exact for any ``k`` via the binomial mass sum (``k`` is tiny in
+    every protocol, so the loop over vote counts is O(k) scalar work).
+    """
+    k = check_positive_int(k, "k")
+    p_arr = np.clip(np.asarray(p, dtype=np.float64), 0.0, 1.0)
+    q_arr = 1.0 - p_arr
+    total = np.zeros_like(p_arr)
+    for j in range(k // 2 + 1, k + 1):
+        total += comb(k, j) * p_arr**j * q_arr ** (k - j)
+    if k % 2 == 0:
+        tie = comb(k, k // 2) * p_arr ** (k // 2) * q_arr ** (k // 2)
+        if tie_rule is TieRule.RANDOM:
+            total += 0.5 * tie
+        elif tie_rule is TieRule.KEEP_SELF:
+            if own is None:
+                raise ValueError(
+                    "even k with KEEP_SELF ties needs the vertex's own "
+                    "colour (own=RED or own=BLUE)"
+                )
+            if own == BLUE:
+                total += tie
+        else:  # pragma: no cover - exhaustiveness guard
+            raise ValueError(f"unknown tie rule {tie_rule!r}")
+    return total
+
+
+def count_chain_step(
+    blue_counts: np.ndarray,
+    n: int,
+    k: int,
+    rng: np.random.Generator,
+    *,
+    tie_rule: TieRule = TieRule.KEEP_SELF,
+) -> np.ndarray:
+    """One exact Best-of-k round of the ``K_n`` blue-count chain.
+
+    Conditioned on the current count ``B``, every blue vertex samples blue
+    with probability ``(B−1)/(n−1)`` and every red vertex with ``B/(n−1)``
+    (with-replacement draws from the other ``n−1`` vertices), and all
+    vertices update independently — so the next count is exactly
+
+        ``B' = Bin(B, q_blue) + Bin(n−B, q_red)``
+
+    with ``q`` the majority probabilities of
+    :func:`majority_win_probability`.  Vectorised over a replica axis:
+    *blue_counts* is ``(R,)`` and one call advances every replica.  Above
+    the :data:`GAUSSIAN_REGIME_THRESHOLD` the binomials come from
+    :func:`binomial_draw`'s Gaussian regime, so the chain keeps running at
+    ``n`` far beyond 2³¹.
+    """
+    B = np.asarray(blue_counts, dtype=np.int64)
+    p_blue = (B - 1) / (n - 1)
+    p_red = B / (n - 1)
+    q_blue = majority_win_probability(p_blue, k, tie_rule=tie_rule, own=BLUE)
+    q_red = majority_win_probability(p_red, k, tie_rule=tie_rule, own=RED)
+    return binomial_draw(rng, B, q_blue) + binomial_draw(rng, n - B, q_red)
+
+
+# ----------------------------------------------------------------------
+# The kernel protocol
+# ----------------------------------------------------------------------
+
+
+def _broadcast_counts(blue_counts, replicas: int, n: int) -> np.ndarray:
+    """Validate and broadcast an ``initial_blue_counts`` value to ``(R,)``."""
+    counts = np.broadcast_to(
+        np.asarray(blue_counts, dtype=np.int64), (replicas,)
+    ).copy()
+    if counts.min() < 0 or counts.max() > n:
+        raise ValueError(
+            f"initial blue counts must lie in [0, {n}], got range "
+            f"[{counts.min()}, {counts.max()}]"
+        )
+    return counts
+
+
+class CountChainKernel(abc.ABC):
+    """Exact O(slots)-per-round ensemble chain of an exchangeable host.
+
+    Subclasses describe *which* conditional law the host factorises
+    under; the engine (:func:`repro.core.ensemble.run_ensemble`) owns the
+    generic loop.  See the module docstring for the state contract: an
+    ``(R, num_slots)`` ``int64`` matrix whose row sums are blue totals.
+
+    The chain is exact for **any** initial placement: conditioned on the
+    slot values, the host's one-round update law does not depend on
+    which vertices within a slot are blue, so projecting an explicit
+    opinion matrix through :meth:`state_from_opinions` loses nothing.
+    """
+
+    n: int
+    """Number of vertices of the host."""
+
+    @property
+    @abc.abstractmethod
+    def num_slots(self) -> int:
+        """Columns of the state matrix (parts + explicit vertices)."""
+
+    @abc.abstractmethod
+    def initial_state(
+        self,
+        replicas: int,
+        init_ss,
+        *,
+        delta: float | None = None,
+        blue_counts: np.ndarray | int | None = None,
+    ) -> np.ndarray:
+        """``(R, num_slots)`` initial state without materialising opinions.
+
+        Exactly one of *delta* (the paper's i.i.d. law — each slot count
+        is an independent binomial) and *blue_counts* (an exact total,
+        split across slots by the uniform-placement hypergeometric law)
+        is given.  Per-replica randomness comes from
+        ``spawn_generators(init_ss, replicas)`` — the same stream layout
+        the dense path's per-replica initialisers consume.
+        """
+
+    @abc.abstractmethod
+    def state_from_opinions(self, opinions: np.ndarray) -> np.ndarray:
+        """Project an explicit ``(R, n)`` opinion matrix onto slot counts."""
+
+    @abc.abstractmethod
+    def step(
+        self,
+        state: np.ndarray,
+        k: int,
+        rng: np.random.Generator,
+        *,
+        tie_rule: TieRule = TieRule.KEEP_SELF,
+    ) -> np.ndarray:
+        """One synchronous Best-of-k round for every replica (new array)."""
+
+    def blue_totals(self, state: np.ndarray) -> np.ndarray:
+        """Per-replica blue totals — the absorption/trajectory statistic."""
+        return state.sum(axis=1)
+
+
+class CompleteKernel(CountChainKernel):
+    """The ``K_n`` blue-count chain as a one-slot kernel.
+
+    Wraps :func:`count_chain_step` (PR 1's fast path) so the complete
+    graph rides the same generic engine loop as every other kernel;
+    draw-for-draw identical to the pre-kernel ``method="count_chain"``
+    implementation, so seeded ``K_n`` results are unchanged.
+    """
+
+    def __init__(self, n: int) -> None:
+        n = int(n)
+        if n < 2:
+            raise ValueError(f"K_n kernel needs n >= 2, got {n}")
+        self.n = n
+
+    @property
+    def num_slots(self) -> int:
+        return 1
+
+    def initial_state(self, replicas, init_ss, *, delta=None, blue_counts=None):
+        if blue_counts is not None:
+            counts = _broadcast_counts(blue_counts, replicas, self.n)
+        else:
+            # B_0 ~ Bin(n, 1/2 − δ): the exact count law of random_opinions,
+            # drawn directly so n = 10^10 replicas never allocate O(n).
+            gens = spawn_generators(init_ss, replicas)
+            if self.n <= GAUSSIAN_REGIME_THRESHOLD:
+                counts = np.array(
+                    [gen.binomial(self.n, 0.5 - delta) for gen in gens],
+                    dtype=np.int64,
+                )
+            else:
+                counts = np.array(
+                    [
+                        binomial_draw(
+                            gen, np.array([self.n], dtype=np.int64), 0.5 - delta
+                        )[0]
+                        for gen in gens
+                    ],
+                    dtype=np.int64,
+                )
+        return counts[:, None]
+
+    def state_from_opinions(self, opinions):
+        return np.count_nonzero(opinions, axis=1).astype(np.int64)[:, None]
+
+    def step(self, state, k, rng, *, tie_rule=TieRule.KEEP_SELF):
+        return count_chain_step(
+            state[:, 0], self.n, k, rng, tie_rule=tie_rule
+        )[:, None]
+
+
+class MultipartiteKernel(CountChainKernel):
+    """Per-part chains of a complete multipartite host (parts = slots).
+
+    A vertex of part ``i`` samples uniformly from the ``n − s_i``
+    vertices *outside* its part, so conditioned on the per-part blue
+    counts ``B``, every draw is blue with probability
+    ``(ΣB − B_i)/(n − s_i)`` — the same for every vertex of the part
+    (its own colour enters only through even-``k`` KEEP_SELF ties).
+    One round is two vectorised binomials over the ``(R, parts)`` count
+    matrix; the complete bipartite graph is the two-part special case.
+    """
+
+    def __init__(self, sizes) -> None:
+        sizes = np.asarray(sizes, dtype=np.int64)
+        if sizes.ndim != 1 or sizes.size < 2:
+            raise ValueError("multipartite kernel needs at least two parts")
+        if np.any(sizes < 1):
+            raise ValueError(f"part sizes must be >= 1, got {sizes.tolist()}")
+        self.sizes = sizes
+        self.n = int(sizes.sum())
+        self._offsets = np.concatenate([[0], np.cumsum(sizes)])
+
+    @property
+    def num_slots(self) -> int:
+        return int(self.sizes.size)
+
+    def initial_state(self, replicas, init_ss, *, delta=None, blue_counts=None):
+        gens = spawn_generators(init_ss, replicas)
+        state = np.empty((replicas, self.num_slots), dtype=np.int64)
+        if blue_counts is not None:
+            counts = _broadcast_counts(blue_counts, replicas, self.n)
+            for i, gen in enumerate(gens):
+                state[i] = gen.multivariate_hypergeometric(
+                    self.sizes, int(counts[i])
+                )
+        else:
+            for i, gen in enumerate(gens):
+                state[i] = binomial_draw(gen, self.sizes, 0.5 - delta)
+        return state
+
+    def state_from_opinions(self, opinions):
+        return np.add.reduceat(
+            opinions, self._offsets[:-1], axis=1, dtype=np.int64
+        )
+
+    def step(self, state, k, rng, *, tie_rule=TieRule.KEEP_SELF):
+        total = state.sum(axis=1, keepdims=True)
+        p = (total - state) / (self.n - self.sizes)[None, :].astype(np.float64)
+        q_blue = majority_win_probability(p, k, tie_rule=tie_rule, own=BLUE)
+        if k % 2 == 0 and tie_rule is TieRule.KEEP_SELF:
+            q_red = majority_win_probability(p, k, tie_rule=tie_rule, own=RED)
+        else:
+            q_red = q_blue
+        return binomial_draw(rng, state, q_blue) + binomial_draw(
+            rng, self.sizes[None, :] - state, q_red
+        )
+
+
+class TwoCliqueBridgeKernel(CountChainKernel):
+    """Two clique chains plus explicitly simulated bridge vertices.
+
+    The E12 host (:func:`repro.graphs.generators.two_clique_bridge`):
+    two cliques of size ``half`` whose first *bridges* vertices are
+    pairwise joined.  Non-bridge vertices of a clique are exchangeable
+    (each sees its clique minus itself); the ``2·bridges`` bridge
+    endpoints each additionally see one *specific* vertex of the other
+    clique, so they are tracked as explicit 0/1 slots and updated with
+    per-replica Bernoulli draws — still exact, still O(1) slots per
+    round for the standard ``bridges = 1`` host.
+
+    Slot layout: ``[left non-bridge count, right non-bridge count,
+    left bridge colours (bridges), right bridge colours (bridges)]``.
+    """
+
+    def __init__(self, half: int, bridges: int = 1) -> None:
+        half = int(half)
+        bridges = int(bridges)
+        if half < 2:
+            raise ValueError(f"clique size must be >= 2, got {half}")
+        if not 1 <= bridges <= half:
+            raise ValueError(
+                f"bridges must lie in [1, {half}], got {bridges}"
+            )
+        self.half = half
+        self.bridges = bridges
+        self.n = 2 * half
+
+    @property
+    def num_slots(self) -> int:
+        return 2 + 2 * self.bridges
+
+    def _slot_sizes(self) -> np.ndarray:
+        nb = self.half - self.bridges
+        return np.array(
+            [nb, nb] + [1] * (2 * self.bridges), dtype=np.int64
+        )
+
+    def initial_state(self, replicas, init_ss, *, delta=None, blue_counts=None):
+        gens = spawn_generators(init_ss, replicas)
+        sizes = self._slot_sizes()
+        state = np.empty((replicas, sizes.size), dtype=np.int64)
+        if blue_counts is not None:
+            counts = _broadcast_counts(blue_counts, replicas, self.n)
+            for i, gen in enumerate(gens):
+                state[i] = gen.multivariate_hypergeometric(
+                    sizes, int(counts[i])
+                )
+        else:
+            for i, gen in enumerate(gens):
+                state[i] = binomial_draw(gen, sizes, 0.5 - delta)
+        return state
+
+    def state_from_opinions(self, opinions):
+        br, half = self.bridges, self.half
+        ops = np.asarray(opinions)
+        out = np.empty((ops.shape[0], self.num_slots), dtype=np.int64)
+        out[:, 0] = ops[:, br:half].sum(axis=1, dtype=np.int64)
+        out[:, 1] = ops[:, half + br :].sum(axis=1, dtype=np.int64)
+        out[:, 2 : 2 + br] = ops[:, :br]
+        out[:, 2 + br :] = ops[:, half : half + br]
+        return out
+
+    def step(self, state, k, rng, *, tie_rule=TieRule.KEEP_SELF):
+        br, half = self.bridges, self.half
+        replicas = state.shape[0]
+        nb_size = half - br
+        bridge_cols = state[:, 2:]
+        totals = (
+            state[:, 0] + bridge_cols[:, :br].sum(axis=1),
+            state[:, 1] + bridge_cols[:, br:].sum(axis=1),
+        )
+        out = np.empty_like(state)
+        # Non-bridge vertices: clique minus self, degree half − 1.  The
+        # vectorised probabilities can leave [0, 1] exactly when the
+        # corresponding colour class is empty (its binomial count is 0);
+        # majority_win_probability clips, so those draws are vacuous.
+        for col in (0, 1):
+            blue_nb = state[:, col]
+            p_blue = (totals[col] - 1) / (half - 1)
+            p_red = totals[col] / (half - 1)
+            q_b = majority_win_probability(p_blue, k, tie_rule=tie_rule, own=BLUE)
+            q_r = majority_win_probability(p_red, k, tie_rule=tie_rule, own=RED)
+            out[:, col] = binomial_draw(rng, blue_nb, q_b) + binomial_draw(
+                rng, nb_size - blue_nb, q_r
+            )
+        # Bridge endpoints: clique minus self plus the partner endpoint of
+        # the other clique, degree half.  Fixed slot order keeps the
+        # stream deterministic.
+        for side in (0, 1):
+            for j in range(br):
+                own_col = 2 + side * br + j
+                partner_col = 2 + (1 - side) * br + j
+                own = state[:, own_col]
+                partner = state[:, partner_col]
+                p_if_blue = (totals[side] - 1 + partner) / half
+                p_if_red = (totals[side] + partner) / half
+                q = np.where(
+                    own == BLUE,
+                    majority_win_probability(
+                        p_if_blue, k, tie_rule=tie_rule, own=BLUE
+                    ),
+                    majority_win_probability(
+                        p_if_red, k, tie_rule=tie_rule, own=RED
+                    ),
+                )
+                out[:, own_col] = rng.random(replicas) < q
+        return out

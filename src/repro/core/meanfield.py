@@ -33,6 +33,7 @@ from repro.util.validation import check_positive_int, check_probability
 
 __all__ = [
     "best_of_k_map",
+    "best_of_k_map_parts",
     "best_of_k_trajectory",
     "best_of_k_hitting_time",
     "map_derivative_at_half",
@@ -62,6 +63,53 @@ def best_of_k_map(
         return win + tie * b
     if tie_rule is TieRule.RANDOM:
         return win + tie / 2.0
+    raise ValueError(f"unknown tie rule {tie_rule!r}")  # pragma: no cover
+
+
+def best_of_k_map_parts(
+    fractions: np.ndarray,
+    sizes: np.ndarray,
+    k: int = 3,
+    *,
+    tie_rule: TieRule = TieRule.KEEP_SELF,
+) -> np.ndarray:
+    """One mean-field Best-of-k round of per-part blue fractions.
+
+    The complete multipartite analogue of :func:`best_of_k_map` — the
+    deterministic map the :class:`~repro.core.kernels.MultipartiteKernel`
+    chain concentrates on as part sizes grow.  A vertex of part ``i``
+    samples only *outside* its part, so each of its ``k`` draws is blue
+    with the cross-part majority probability
+
+        ``p_i = (Σ_j s_j b_j − s_i b_i) / (n − s_i)``,
+
+    and the part's next blue fraction is ``P(Bin(k, p_i) > k/2)`` plus
+    the even-``k`` tie mass assigned per *tie_rule* (``KEEP_SELF`` mixes
+    by the part's own current fraction ``b_i``).  Vectorised over parts;
+    with one part per "class" of a bipartite host this reproduces the
+    classical two-population majority map.
+    """
+    k = check_positive_int(k, "k")
+    b = np.asarray(fractions, dtype=np.float64)
+    s = np.asarray(sizes, dtype=np.float64)
+    if b.shape != s.shape:
+        raise ValueError(
+            f"fractions shape {b.shape} does not match sizes shape {s.shape}"
+        )
+    if np.any((b < 0.0) | (b > 1.0)):
+        raise ValueError("per-part fractions must lie in [0, 1]")
+    if np.any(s < 1):
+        raise ValueError("part sizes must be >= 1")
+    n = s.sum()
+    p = np.clip((s * b).sum() - s * b, 0.0, None) / (n - s)
+    win = stats.binom.sf(k // 2, k, p)
+    if k % 2 == 1:
+        return np.asarray(win, dtype=np.float64)
+    tie = stats.binom.pmf(k // 2, k, p)
+    if tie_rule is TieRule.KEEP_SELF:
+        return np.asarray(win + tie * b, dtype=np.float64)
+    if tie_rule is TieRule.RANDOM:
+        return np.asarray(win + tie / 2.0, dtype=np.float64)
     raise ValueError(f"unknown tie rule {tie_rule!r}")  # pragma: no cover
 
 

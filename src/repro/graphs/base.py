@@ -134,6 +134,43 @@ class Graph(abc.ABC):
             self._vertex_ids_cache = ids
         return ids
 
+    # ------------------------------------------------------------------
+    # Exact count-chain kernels (the ensemble engine's O(parts) path)
+    # ------------------------------------------------------------------
+
+    def count_chain_kernel(self):
+        """The host's exact count-chain kernel, or ``None``.
+
+        Hosts made of exchangeable parts (DESIGN.md §2.5) return a
+        :class:`~repro.core.kernels.CountChainKernel` here and
+        :func:`~repro.core.ensemble.run_ensemble`'s ``method="auto"``
+        routes their ensembles onto it — O(parts) work per round instead
+        of O(n·k).  The default is ``None`` (no exchangeable structure):
+        generic hosts use the batched dense path.  Subclasses with a
+        kernel override :meth:`_build_count_chain_kernel` (memoised
+        here); generators that *know* their output's structure (e.g. the
+        two-clique bridge, which materialises as a plain CSR graph)
+        attach one explicitly via :meth:`attach_count_chain_kernel`.
+        """
+        kernel = getattr(self, "_count_chain_kernel", None)
+        if kernel is None:
+            kernel = self._build_count_chain_kernel()
+            if kernel is not None:
+                self._count_chain_kernel = kernel
+        return kernel
+
+    def _build_count_chain_kernel(self):
+        """Construct this host's kernel, or ``None`` (the default)."""
+        return None
+
+    def attach_count_chain_kernel(self, kernel) -> None:
+        """Declare *kernel* as this instance's exact count chain.
+
+        The caller asserts exactness: the kernel's slot counts must be a
+        sufficient statistic for this graph's Best-of-k update law.
+        """
+        self._count_chain_kernel = kernel
+
     @property
     def index_dtype(self) -> type:
         """Narrowest integer dtype that can hold every vertex id.

@@ -293,7 +293,15 @@ def two_clique_bridge(half: int, *, bridges: int = 1) -> CSRGraph:
         axis=1,
     )
     edges = np.concatenate([left, right, cross], axis=0)
-    return CSRGraph.from_edges(2 * half, edges, validate=False)
+    graph = CSRGraph.from_edges(2 * half, edges, validate=False)
+    # The generator knows the structure the CSR arrays no longer show:
+    # two exchangeable cliques plus 2·bridges special endpoints.  Attach
+    # the exact count-chain kernel so run_ensemble(method="auto") can
+    # advance whole ensembles in O(1) slots per round (DESIGN.md §2.5).
+    from repro.core.kernels import TwoCliqueBridgeKernel
+
+    graph.attach_count_chain_kernel(TwoCliqueBridgeKernel(half, bridges))
+    return graph
 
 
 def star_polluted(core: int, pendants: int) -> CSRGraph:

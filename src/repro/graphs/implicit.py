@@ -13,11 +13,16 @@ networkx reproduction is "slow on dense large graphs" (DESIGN.md §1).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.graphs.base import Graph
 from repro.graphs.csr import CSRGraph
 from repro.util.validation import check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.kernels import CompleteKernel, MultipartiteKernel
 
 __all__ = [
     "CompleteGraph",
@@ -52,6 +57,25 @@ class CompleteGraph(Graph):
     @property
     def degrees(self) -> np.ndarray:
         return np.full(self._n, self._n - 1, dtype=np.int64)
+
+    # Closed-form degree statistics: the O(n) ``degrees`` array must never
+    # be materialised on the count-chain path (n can exceed 10^10 there).
+    @property
+    def min_degree(self) -> int:
+        return self._n - 1
+
+    @property
+    def max_degree(self) -> int:
+        return self._n - 1
+
+    @property
+    def num_edges(self) -> int:
+        return self._n * (self._n - 1) // 2
+
+    def _build_count_chain_kernel(self) -> "CompleteKernel":
+        from repro.core.kernels import CompleteKernel
+
+        return CompleteKernel(self._n)
 
     def sample_neighbors(
         self, vertices: np.ndarray, k: int, rng: np.random.Generator
@@ -131,6 +155,23 @@ class CompleteBipartiteGraph(Graph):
         deg[self._a :] = self._a
         return deg
 
+    @property
+    def min_degree(self) -> int:
+        return min(self._a, self._b)
+
+    @property
+    def max_degree(self) -> int:
+        return max(self._a, self._b)
+
+    @property
+    def num_edges(self) -> int:
+        return self._a * self._b
+
+    def _build_count_chain_kernel(self) -> "MultipartiteKernel":
+        from repro.core.kernels import MultipartiteKernel
+
+        return MultipartiteKernel((self._a, self._b))
+
     def sample_neighbors(
         self, vertices: np.ndarray, k: int, rng: np.random.Generator
     ) -> np.ndarray:
@@ -183,10 +224,17 @@ class CompleteMultipartiteGraph(Graph):
         self._sizes = sizes_arr
         self._offsets = np.concatenate([[0], np.cumsum(sizes_arr)])
         self._n = int(self._offsets[-1])
-        # Part id of each vertex (O(n) memory — the only per-vertex state).
-        self._part_of = np.repeat(
-            np.arange(sizes_arr.size, dtype=np.int64), sizes_arr
-        )
+        self._part_of_cache: np.ndarray | None = None
+
+    @property
+    def _part_of(self) -> np.ndarray:
+        """Part id of each vertex — the only O(n) state, built lazily so
+        count-chain-only hosts (mega-``n``) never allocate it."""
+        if self._part_of_cache is None:
+            self._part_of_cache = np.repeat(
+                np.arange(self._sizes.size, dtype=np.int64), self._sizes
+            )
+        return self._part_of_cache
 
     @property
     def part_sizes(self) -> np.ndarray:
@@ -200,6 +248,25 @@ class CompleteMultipartiteGraph(Graph):
     @property
     def degrees(self) -> np.ndarray:
         return self._n - self._sizes[self._part_of]
+
+    @property
+    def min_degree(self) -> int:
+        return self._n - int(self._sizes.max())
+
+    @property
+    def max_degree(self) -> int:
+        return self._n - int(self._sizes.min())
+
+    @property
+    def num_edges(self) -> int:
+        # Python ints, not int64: sum(s_i^2) overflows numpy arithmetic
+        # at the mega-n part sizes the count-chain path unlocks.
+        return (self._n * self._n - sum(int(s) * int(s) for s in self._sizes)) // 2
+
+    def _build_count_chain_kernel(self) -> "MultipartiteKernel":
+        from repro.core.kernels import MultipartiteKernel
+
+        return MultipartiteKernel(self._sizes)
 
     def sample_neighbors(
         self, vertices: np.ndarray, k: int, rng: np.random.Generator

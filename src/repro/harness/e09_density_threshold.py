@@ -63,6 +63,17 @@ def _hosts(*, quick: bool, seed: int) -> list[tuple[str, str, HostSpec]]:
             "control",
             HostSpec.of("star_polluted", core=n - n // 8, pendants=n // 8),
         ),
+        # Appended after the original five so their per-point seeds
+        # (seed, 2, i) — and therefore their measured rows — are
+        # untouched.  A 4-part balanced multipartite host has minimum
+        # degree 3n/4 (alpha ~ 1) without being complete; its ensemble
+        # auto-routes onto the exact per-part count chain (DESIGN.md
+        # §2.5), so this dense row costs O(parts) per round.
+        (
+            "multipartite 4 parts",
+            "dense",
+            HostSpec.of("complete_multipartite", sizes=(n // 4,) * 4),
+        ),
     ]
 
 

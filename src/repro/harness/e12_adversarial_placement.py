@@ -16,8 +16,19 @@ counts.  We measure Best-of-3 behaviour at a fixed blue *count* under
 
 The five placement cases are declared as a :class:`SweepSpec`
 (``sweep_spec``), so they run through the sweep scheduler/cache like
-every other grid experiment; the per-case seeds ``(seed, 1, i)``
-reproduce the pre-sweep loop bit-for-bit.
+every other grid experiment, with per-case seeds ``(seed, 1, i)``.
+
+Engine routing: the bridge host advertises a
+:class:`~repro.core.kernels.TwoCliqueBridgeKernel`, so its two cases
+auto-route onto the exact count chain (two clique chains + explicitly
+simulated bridge endpoints) — including the adversarial packing, which
+the chain represents exactly because the update law conditioned on the
+per-clique counts and bridge colours does not depend on the placement
+within a clique.  The chain consumes randomness differently from the
+dense path it replaced, so the bridge rows of ``tests/golden/
+e12_table.md`` were regenerated once at the switch (distribution
+equivalence is enforced by ``tests/test_count_chain_kernels.py``); the
+ER rows still run dense and are byte-identical to the pre-kernel golden.
 """
 
 from __future__ import annotations

@@ -41,9 +41,12 @@ from repro.sweeps.cache import (
     default_cache_dir,
     point_key,
 )
+from repro.sweeps.hoststore import SHAREABLE_FAMILIES, publish_hosts
 from repro.sweeps.runner import (
     build_host,
     execute_point,
+    execute_point_tracked,
+    host_access_counts,
     host_families,
     point_streams,
 )
@@ -66,6 +69,8 @@ from repro.sweeps.spec import (
     SweepSpec,
     canonical_point,
     derive_point_seed,
+    estimated_cost,
+    host_vertex_count,
 )
 
 __all__ = [
@@ -78,12 +83,18 @@ __all__ = [
     "SweepSpec",
     "canonical_point",
     "derive_point_seed",
+    "estimated_cost",
+    "host_vertex_count",
     "CacheGCStats",
     "SweepCache",
     "default_cache_dir",
     "point_key",
+    "SHAREABLE_FAMILIES",
+    "publish_hosts",
     "build_host",
     "execute_point",
+    "execute_point_tracked",
+    "host_access_counts",
     "host_families",
     "point_streams",
     "SweepOutcome",

@@ -1,0 +1,232 @@
+"""Zero-rebuild host sharing for sweep worker processes.
+
+Sweep points are pure data; worker processes rebuild the host graphs
+they name (:func:`repro.sweeps.runner.build_host`, memoised per
+process).  For the quenched CSR hosts — Erdős–Rényi, random-regular,
+the structured E12/E9 controls — that rebuild is the dominant setup cost
+of a warm pool: every worker regenerates the same ``O(n·d)`` edge set
+the parent (or another worker) already built.
+
+This module moves the CSR arrays into POSIX shared memory instead:
+
+* the **parent** builds each shareable host once and serialises its two
+  CSR arrays (``indptr``, ``indices``) into one
+  :class:`multiprocessing.shared_memory.SharedMemory` segment
+  (:func:`publish_hosts`), producing a picklable ``{HostSpec:
+  HostHandle}`` map;
+* each **worker** receives the map through the pool initialiser
+  (:func:`attach_handles`) and, on the first point that names a
+  published host, maps the segment and wraps the arrays in a
+  :class:`~repro.graphs.csr.CSRGraph` *without copying*
+  (:func:`lookup`) — attaching costs microseconds and the physical
+  pages are shared across the whole pool;
+* count-chain kernels attached by generators (the two-clique bridge)
+  travel inside the handle, so kernel auto-routing survives the
+  process boundary.
+
+Graphs are read-only on the hot path, so sharing pages is safe; the
+parent unlinks the segments after the pool drains.  Everything degrades
+gracefully: if shared memory is unavailable the scheduler simply skips
+publication and workers rebuild as before.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.sweeps.spec import HostSpec
+
+__all__ = [
+    "SHAREABLE_FAMILIES",
+    "HostHandle",
+    "HostStore",
+    "publish_hosts",
+    "attach_handles",
+    "lookup",
+    "attach_count",
+]
+
+
+SHAREABLE_FAMILIES = frozenset(
+    {
+        "erdos_renyi",
+        "random_regular",
+        "ring_lattice",
+        "star_polluted",
+        "two_clique_bridge",
+    }
+)
+"""Host families whose builds produce CSR arrays worth sharing.
+
+The implicit families (``complete``, ``rook``, ``complete_multipartite``)
+are O(1)-memory closed forms — rebuilding them is cheaper than mapping a
+segment, so they are excluded."""
+
+
+@dataclass(frozen=True)
+class HostHandle:
+    """Picklable description of one published host's shared segment."""
+
+    shm_name: str
+    n: int
+    arc_count: int
+    indices_dtype: str
+    kernel: object | None
+
+
+class HostStore:
+    """Parent-side owner of the published segments (close/unlink once)."""
+
+    def __init__(
+        self,
+        handles: dict[HostSpec, HostHandle],
+        segments: list[shared_memory.SharedMemory],
+    ) -> None:
+        self.handles = handles
+        self._segments = segments
+
+    def __len__(self) -> int:
+        return len(self.handles)
+
+    def close(self) -> None:
+        """Release and unlink every segment (call after pool shutdown)."""
+        for shm in self._segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        self._segments = []
+
+
+def publish_hosts(host_specs) -> HostStore | None:
+    """Build each shareable host once and export its CSR arrays.
+
+    Returns ``None`` when nothing is shareable, shared memory is
+    unavailable on this platform, or the multiprocessing start method is
+    not ``fork``.  The fork requirement is about the *resource tracker*:
+    forked workers share the parent's tracker, so the parent's single
+    unlink after pool shutdown retires the segment cleanly, whereas
+    spawned workers each run their own tracker, which would emit leak
+    warnings at worker exit and could unlink a live segment if a worker
+    crashes mid-sweep.  Under spawn the scheduler simply skips
+    publication and workers rebuild hosts as before — slower, never
+    wrong (:func:`lookup` also tolerates a vanished segment by returning
+    ``None``).
+
+    Host construction goes through the runner's memoised
+    :func:`~repro.sweeps.runner.build_host`, so a host the parent
+    already built (e.g. by a previous sweep in the same process) is
+    exported without a second generation.
+    """
+    import multiprocessing
+
+    from repro.sweeps.runner import build_host
+
+    if multiprocessing.get_start_method(allow_none=False) != "fork":
+        return None
+
+    handles: dict[HostSpec, HostHandle] = {}
+    segments: list[shared_memory.SharedMemory] = []
+    for spec in dict.fromkeys(host_specs):  # preserve order, deduplicate
+        if spec.family not in SHAREABLE_FAMILIES:
+            continue
+        graph = build_host(spec)
+        if not isinstance(graph, CSRGraph):  # pragma: no cover - defensive
+            continue
+        indptr, indices = graph.indptr, graph.indices
+        try:
+            shm = shared_memory.SharedMemory(
+                create=True, size=indptr.nbytes + indices.nbytes
+            )
+        except OSError:  # pragma: no cover - no /dev/shm
+            for seg in segments:
+                seg.close()
+                seg.unlink()
+            return None
+        shared_indptr = np.ndarray(
+            indptr.shape, dtype=indptr.dtype, buffer=shm.buf
+        )
+        shared_indices = np.ndarray(
+            indices.shape,
+            dtype=indices.dtype,
+            buffer=shm.buf,
+            offset=indptr.nbytes,
+        )
+        shared_indptr[:] = indptr
+        shared_indices[:] = indices
+        segments.append(shm)
+        handles[spec] = HostHandle(
+            shm_name=shm.name,
+            n=graph.num_vertices,
+            arc_count=int(indices.size),
+            indices_dtype=indices.dtype.str,
+            kernel=graph.count_chain_kernel(),
+        )
+    if not handles:
+        return None
+    return HostStore(handles, segments)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+_HANDLES: dict[HostSpec, HostHandle] = {}
+_GRAPHS: dict[HostSpec, CSRGraph] = {}
+_ATTACH_COUNT = 0
+
+
+def attach_handles(handles: dict[HostSpec, HostHandle]) -> None:
+    """Install the published-host map (the pool's worker initialiser)."""
+    global _HANDLES
+    _HANDLES = dict(handles)
+    _GRAPHS.clear()
+
+
+def attach_count() -> int:
+    """Segments this process has mapped so far (monotone counter)."""
+    return _ATTACH_COUNT
+
+
+def lookup(spec: HostSpec) -> CSRGraph | None:
+    """The shared graph for *spec*, or ``None`` if it was not published.
+
+    The first hit maps the segment and wraps it zero-copy; later hits
+    return the same object.  The :class:`SharedMemory` handle is pinned
+    on the graph so the mapping outlives this function.
+    """
+    global _ATTACH_COUNT
+    graph = _GRAPHS.get(spec)
+    if graph is not None:
+        return graph
+    handle = _HANDLES.get(spec)
+    if handle is None:
+        return None
+    try:
+        shm = shared_memory.SharedMemory(name=handle.shm_name)
+    except OSError:  # pragma: no cover - parent gone; rebuild instead
+        return None
+    # Note on lifetimes: attaching registers the segment with the
+    # resource tracker a second time — shared with the parent's because
+    # publish_hosts only runs under the fork start method.  Registrations
+    # are a set keyed by name, and the parent's unlink after pool
+    # shutdown clears the single entry: no leak warning, no double-free.
+    indptr = np.ndarray((handle.n + 1,), dtype=np.int64, buffer=shm.buf)
+    indices = np.ndarray(
+        (handle.arc_count,),
+        dtype=np.dtype(handle.indices_dtype),
+        buffer=shm.buf,
+        offset=indptr.nbytes,
+    )
+    graph = CSRGraph(indptr, indices, validate=False)
+    if handle.kernel is not None:
+        graph.attach_count_chain_kernel(handle.kernel)
+    graph._shm_keepalive = shm  # pin the mapping to the graph's lifetime
+    _GRAPHS[spec] = graph
+    _ATTACH_COUNT += 1
+    return graph

@@ -58,13 +58,20 @@ from repro.graphs.generators import (
     star_polluted,
     two_clique_bridge,
 )
-from repro.graphs.implicit import CompleteGraph, RookGraph
+from repro.graphs.implicit import (
+    CompleteGraph,
+    CompleteMultipartiteGraph,
+    RookGraph,
+)
+from repro.sweeps import hoststore
 from repro.sweeps.spec import HostSpec, Point
 from repro.util.rng import as_generator
 
 __all__ = [
     "build_host",
     "execute_point",
+    "execute_point_tracked",
+    "host_access_counts",
     "host_families",
     "point_streams",
 ]
@@ -90,6 +97,9 @@ def _require_seed(params: dict, family: str):
 
 _HOST_BUILDERS: dict[str, Callable[[dict], Graph]] = {
     "complete": lambda p: CompleteGraph(p["n"]),
+    "complete_multipartite": lambda p: CompleteMultipartiteGraph(
+        list(p["sizes"])
+    ),
     "rook": lambda p: RookGraph(p["side"]),
     "erdos_renyi": lambda p: erdos_renyi(
         p["n"], p["p"], seed=_require_seed(p, "erdos_renyi")
@@ -110,8 +120,18 @@ def host_families() -> list[str]:
     return sorted(_HOST_BUILDERS)
 
 
+_HOST_BUILD_COUNT = 0
+"""From-scratch host constructions in this process (memo hits excluded).
+
+Together with :func:`repro.sweeps.hoststore.attach_count` this is the
+"rebuild count" the scheduler reports: a warm pool with a shared host
+store should show zero worker-side builds for the shareable families.
+"""
+
+
 @lru_cache(maxsize=8)
 def _build_host_cached(host: HostSpec) -> Graph:
+    global _HOST_BUILD_COUNT
     try:
         builder = _HOST_BUILDERS[host.family]
     except KeyError:
@@ -119,12 +139,27 @@ def _build_host_cached(host: HostSpec) -> Graph:
             f"unknown host family {host.family!r}; known: "
             f"{', '.join(host_families())}"
         ) from None
+    _HOST_BUILD_COUNT += 1
     return builder(host.param_dict())
 
 
 def build_host(host: HostSpec) -> Graph:
-    """Construct (or fetch the memoised) host graph for *host*."""
+    """The host graph for *host*: shared-store attach, memo, or build.
+
+    A worker whose pool published *host* to the shared host store
+    (:mod:`repro.sweeps.hoststore`) maps the parent's CSR arrays
+    zero-copy instead of regenerating the quenched graph; everything
+    else falls back to the per-process memoised constructor.
+    """
+    graph = hoststore.lookup(host)
+    if graph is not None:
+        return graph
     return _build_host_cached(host)
+
+
+def host_access_counts() -> tuple[int, int]:
+    """This process's ``(from-scratch builds, shared-store attaches)``."""
+    return _HOST_BUILD_COUNT, hoststore.attach_count()
 
 
 def point_streams(point: Point, count: int) -> list[np.random.Generator]:
@@ -196,10 +231,11 @@ def _execute_best_of_k(point: Point, graph: Graph) -> ConsensusEnsemble:
         )
         return ConsensusEnsemble.from_ensemble_result(ens)
 
-    # exact_count: conditioned starts go straight through the batched
-    # engine (uniform placement per trial from spawned streams — the
-    # engine calls exact_count_opinions with the same per-replica
-    # streams an explicit initializer would get).
+    # exact_count: conditioned starts go through the engine's auto
+    # route — the batched path places each trial's count uniformly via
+    # exact_count_opinions, while kernel hosts (K_n, multipartite, the
+    # bridge) split the count across slots with the equivalent
+    # hypergeometric law and run the exact count chain.
     ens = run_ensemble(
         graph,
         replicas=point.trials,
@@ -329,3 +365,17 @@ def execute_point(point: Point) -> "ConsensusEnsemble | dict":
     except KeyError:  # pragma: no cover - ProtocolSpec validates kinds
         raise ValueError(f"unknown protocol kind {point.protocol.kind!r}")
     return runner(point, graph)
+
+
+def execute_point_tracked(point: Point):
+    """:func:`execute_point` plus this point's host-access deltas.
+
+    The scheduler ships this to pool workers so the parent can aggregate
+    how many points forced a from-scratch host build versus a shared
+    store attach — worker-process counters are invisible to the parent
+    otherwise.  Returns ``(payload, builds, attaches)``.
+    """
+    builds0, attaches0 = host_access_counts()
+    payload = execute_point(point)
+    builds1, attaches1 = host_access_counts()
+    return payload, builds1 - builds0, attaches1 - attaches0

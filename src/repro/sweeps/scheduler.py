@@ -7,40 +7,60 @@ their points over **one** process pool —
 1. probe the cache (when given) for each point — hits cost one JSON read;
 2. deduplicate content-identical points across specs (two experiments
    asking for the same simulation get one computation);
-3. execute the misses, inline for ``jobs <= 1`` or over a single shared
+3. order the misses **largest-first** by the declared cost estimate
+   (:func:`~repro.sweeps.spec.estimated_cost`, ties broken by canonical
+   content so the order is deterministic at any ``jobs``) — big points
+   start while small ones backfill, instead of a straggler landing last
+   on an otherwise-drained pool;
+4. publish the quenched CSR hosts of the pending points to a shared
+   host store (:mod:`repro.sweeps.hoststore`) so pool workers attach to
+   the parent's arrays instead of regenerating each graph per process;
+5. execute the misses, inline for ``jobs <= 1`` or over a single shared
    :class:`~concurrent.futures.ProcessPoolExecutor` in work-stealing
    order (workers pull whatever point is next, whichever spec it came
    from — a spec with one slow point no longer serialises the grid
-   behind it);
-4. write each freshly computed result back to the cache *as it lands*,
+   behind it); points that cannot be pickled degrade to serial in-parent
+   execution with a warning instead of poisoning the pool;
+6. write each freshly computed result back to the cache *as it lands*,
    so an interrupted sweep resumes from its last completed point;
-5. if the cache declares a size bound (``max_mb``), run its LRU GC once
+7. if the cache declares a size bound (``max_mb``), run its LRU GC once
    at the end.
 
 ``run_sweep`` is the single-spec convenience wrapper.  Results come back
 aligned with each ``spec.points`` regardless of completion order, and
-the returned stats record the per-spec hit/miss split.  Worker processes
-recompute nothing the parent already has: points are plain data, the
-worker function is imported by reference, and host graphs are memoised
-per process (:mod:`repro.sweeps.runner`).
+the returned stats record the per-spec hit/miss split plus the run-wide
+host build/attach accounting.
 
 Determinism: parallelism changes *where* a point runs, never its
 randomness — every point carries its own seed tuple, so ``jobs=8``
-produces bit-identical ensembles to ``jobs=1``, and one global pool
-produces bit-identical results to per-spec pools.
+produces bit-identical ensembles to ``jobs=1``, one global pool produces
+bit-identical results to per-spec pools, and the largest-first order
+reshuffles wall-clock only.
 """
 
 from __future__ import annotations
 
 import argparse
+import pickle
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Any, Sequence
 
+from repro.sweeps import hoststore
 from repro.sweeps.cache import SweepCache
-from repro.sweeps.runner import execute_point
-from repro.sweeps.spec import SweepSpec, canonical_json, canonical_point
+from repro.sweeps.runner import (
+    execute_point,
+    execute_point_tracked,
+    host_access_counts,
+)
+from repro.sweeps.spec import (
+    SweepSpec,
+    canonical_json,
+    canonical_point,
+    estimated_cost,
+)
 
 __all__ = [
     "SweepStats",
@@ -97,7 +117,12 @@ class SweepStats:
 
     ``elapsed_s`` is the wall-clock of the whole (possibly multi-spec)
     scheduling round the spec ran in: with one shared pool there is no
-    per-spec wall-clock to report separately.
+    per-spec wall-clock to report separately.  The three host counters
+    are likewise **run-wide** (identical on every spec of the call):
+    ``hosts_published`` segments exported to the shared store by the
+    parent, ``host_builds`` from-scratch graph constructions during
+    point execution (inline and in workers), and ``host_attaches``
+    zero-copy shared-store attachments in workers.
     """
 
     points: int
@@ -105,6 +130,9 @@ class SweepStats:
     misses: int
     jobs: int
     elapsed_s: float
+    hosts_published: int = 0
+    host_builds: int = 0
+    host_attaches: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -136,6 +164,7 @@ def run_sweeps(
     *,
     jobs: int = 1,
     cache: SweepCache | None = None,
+    share_hosts: bool = True,
 ) -> list[SweepOutcome]:
     """Execute every point of every spec through one shared pool.
 
@@ -152,6 +181,11 @@ def run_sweeps(
     cache:
         Optional :class:`SweepCache`.  Hits skip simulation entirely;
         misses are recomputed and stored.  ``None`` disables caching.
+    share_hosts:
+        Publish the pending points' quenched CSR hosts to a shared
+        memory-mapped store so pool workers attach instead of
+        regenerating them (default).  Only affects setup cost; results
+        are identical either way.
 
     Returns
     -------
@@ -197,36 +231,115 @@ def run_sweeps(
             for si, pi in owners[content]:
                 misses[si] += 1
 
+    # Deterministic largest-first submission: the pool starts on the
+    # most expensive points and backfills with cheap ones, so a straggler
+    # no longer lands last on an otherwise-drained pool.  (Randomness is
+    # per-point, so execution order cannot change any result.)
+    pending.sort(key=lambda content: (-estimated_cost(unique[content]), content))
+
     def _store(content: str, payload: Any) -> None:
         for si, pi in owners[content]:
             results[si][pi] = payload
         if cache is not None:
             cache.put(unique[content], payload)
 
-    if jobs <= 1 or len(pending) <= 1:
-        for content in pending:
+    hosts_published = 0
+    host_builds = 0
+    host_attaches = 0
+
+    def _run_inline(contents: list[str]) -> None:
+        nonlocal host_builds, host_attaches
+        builds0, attaches0 = host_access_counts()
+        for content in contents:
             _store(content, execute_point(unique[content]))
+        builds1, attaches1 = host_access_counts()
+        host_builds += builds1 - builds0
+        host_attaches += attaches1 - attaches0
+
+    if jobs <= 1 or len(pending) <= 1:
+        _run_inline(pending)
     else:
-        pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
-        futures: dict = {}  # populated incrementally; read by the except path
-        try:
-            for content in pending:
-                futures[pool.submit(execute_point, unique[content])] = content
-            # Store each result the moment it lands so a sweep killed
-            # midway resumes from its last completed point.
-            for fut in as_completed(futures):
-                _store(futures[fut], fut.result())
-        except BaseException:
-            # Don't block a Ctrl-C (or a failed worker) on in-flight
-            # points: drop the queue and return without waiting — but
-            # first bank every point that did finish, so the re-run
-            # resumes instead of recomputing them.
-            pool.shutdown(wait=False, cancel_futures=True)
-            for fut, content in futures.items():
-                if fut.done() and not fut.cancelled() and fut.exception() is None:
-                    _store(content, fut.result())
-            raise
-        pool.shutdown(wait=True)
+        # A point that cannot cross the process boundary (host specs
+        # from locally defined classes, exotic parameters) must not
+        # poison the whole pool: run it serially in this process and
+        # say so, instead of surfacing a BrokenProcessPool-style crash.
+        poolable: list[str] = []
+        unpoolable: list[str] = []
+        for content in pending:
+            try:
+                pickle.dumps(unique[content])
+            except Exception:
+                unpoolable.append(content)
+            else:
+                poolable.append(content)
+        if unpoolable:
+            warnings.warn(
+                f"{len(unpoolable)} of {len(pending)} sweep point(s) could "
+                "not be pickled for the worker pool and will run serially "
+                "in the parent process (results are unaffected)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        if len(poolable) > 1:
+            store = None
+            if share_hosts:
+                # Publish only hosts that at least two pending points
+                # share: a single-use host gains nothing from the store
+                # and would just move its construction from a parallel
+                # worker into the serial pre-pool parent.
+                host_counts: dict = {}
+                for content in poolable:
+                    host = unique[content].host
+                    host_counts[host] = host_counts.get(host, 0) + 1
+                shared = [h for h, count in host_counts.items() if count >= 2]
+                if shared:
+                    store = hoststore.publish_hosts(shared)
+                hosts_published = len(store) if store is not None else 0
+            pool = ProcessPoolExecutor(
+                max_workers=min(jobs, len(poolable)),
+                initializer=hoststore.attach_handles if store else None,
+                initargs=(store.handles,) if store else (),
+            )
+            futures: dict = {}  # populated incrementally; read on errors
+
+            def _bank(fut) -> None:
+                nonlocal host_builds, host_attaches
+                payload, builds, attaches = fut.result()
+                host_builds += builds
+                host_attaches += attaches
+                _store(futures[fut], payload)
+
+            try:
+                for content in poolable:
+                    futures[
+                        pool.submit(execute_point_tracked, unique[content])
+                    ] = content
+                # Store each result the moment it lands so a sweep killed
+                # midway resumes from its last completed point.
+                for fut in as_completed(futures):
+                    _bank(fut)
+            except BaseException:
+                # Don't block a Ctrl-C (or a failed worker) on in-flight
+                # points: drop the queue and return without waiting — but
+                # first bank every point that did finish, so the re-run
+                # resumes instead of recomputing them.
+                pool.shutdown(wait=False, cancel_futures=True)
+                for fut in futures:
+                    if (
+                        fut.done()
+                        and not fut.cancelled()
+                        and fut.exception() is None
+                    ):
+                        _bank(fut)
+                if store is not None:
+                    store.close()
+                raise
+            pool.shutdown(wait=True)
+            if store is not None:
+                store.close()
+        else:
+            _run_inline(poolable)
+        _run_inline(unpoolable)
 
     if cache is not None and cache.max_mb is not None:
         cache.gc()
@@ -242,6 +355,9 @@ def run_sweeps(
                 misses=misses[si],
                 jobs=jobs,
                 elapsed_s=elapsed,
+                hosts_published=hosts_published,
+                host_builds=host_builds,
+                host_attaches=host_attaches,
             ),
         )
         for si, spec in enumerate(specs)
@@ -253,9 +369,12 @@ def run_sweep(
     *,
     jobs: int = 1,
     cache: SweepCache | None = None,
+    share_hosts: bool = True,
 ) -> SweepOutcome:
     """Execute every point of one *spec* (see :func:`run_sweeps`)."""
-    return run_sweeps([spec], jobs=jobs, cache=cache)[0]
+    return run_sweeps(
+        [spec], jobs=jobs, cache=cache, share_hosts=share_hosts
+    )[0]
 
 
 def ensure_outcome(

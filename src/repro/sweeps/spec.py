@@ -46,6 +46,8 @@ __all__ = [
     "canonical_point",
     "canonical_json",
     "derive_point_seed",
+    "host_vertex_count",
+    "estimated_cost",
 ]
 
 _SCALAR_TYPES = (str, int, float, bool)
@@ -332,6 +334,38 @@ def derive_point_seed(root: int | Sequence[int], point: Point) -> tuple[int, ...
     )
     root_tuple = (root,) if isinstance(root, int) else tuple(int(r) for r in root)
     return root_tuple + words
+
+
+def host_vertex_count(host: HostSpec) -> int:
+    """Vertex count of *host* read off its parameters (no construction).
+
+    Used by the scheduler's cost model; families whose size is not
+    derivable from the declared parameters fall back to the ``n`` param
+    (or 1), which only degrades the *ordering* heuristic, never
+    correctness.
+    """
+    params = host.param_dict()
+    family = host.family
+    if family == "rook":
+        return int(params["side"]) ** 2
+    if family == "two_clique_bridge":
+        return 2 * int(params["half"])
+    if family == "star_polluted":
+        return int(params["core"]) + int(params["pendants"])
+    if family == "complete_multipartite":
+        return int(sum(params["sizes"]))
+    return int(params.get("n", 1))
+
+
+def estimated_cost(point: Point) -> int:
+    """Scheduling cost estimate of one point: ``n · trials · max_steps``.
+
+    A deliberately crude upper-bound proxy — most ensembles absorb long
+    before ``max_steps``, and count-chain hosts cost O(parts), not O(n),
+    per round — but it is monotone in every axis that can make a point a
+    straggler, which is all the largest-first submission order needs.
+    """
+    return host_vertex_count(point.host) * point.trials * point.max_steps
 
 
 @dataclass(frozen=True)

@@ -361,7 +361,7 @@ class TestHarnessIntegration:
             ("repro.harness.e01_consensus_scaling", 8),
             ("repro.harness.e02_delta_dependence", 5),
             ("repro.harness.e08_protocol_comparison", 7),
-            ("repro.harness.e09_density_threshold", 5),
+            ("repro.harness.e09_density_threshold", 6),
             ("repro.harness.e11_best_of_two_conditions", 6),
             ("repro.harness.e12_adversarial_placement", 5),
             ("repro.harness.e13_noisy_bifurcation", 6),

@@ -1,0 +1,218 @@
+"""Tests for the PR 4 scheduler upgrades: shared host store,
+largest-first deterministic ordering, and the unpicklable-point
+degradation path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.sweeps import (
+    SHAREABLE_FAMILIES,
+    HostSpec,
+    InitSpec,
+    Point,
+    ProtocolSpec,
+    SweepSpec,
+    build_host,
+    estimated_cost,
+    host_vertex_count,
+    publish_hosts,
+    run_sweep,
+    run_sweeps,
+)
+from repro.sweeps import hoststore
+
+
+def _point(host, i, trials=3, max_steps=200):
+    return Point(
+        host=host,
+        protocol=ProtocolSpec.best_of(3),
+        init=InitSpec.iid(0.1),
+        trials=trials,
+        max_steps=max_steps,
+        seed=(5, i),
+    )
+
+
+ER = HostSpec.of("erdos_renyi", n=192, p=0.2, seed=(9, 9))
+BRIDGE = HostSpec.of("two_clique_bridge", half=64)
+
+
+@pytest.fixture(autouse=True)
+def _clean_attachments():
+    """Tests that attach handles in-process must not leak module state."""
+    yield
+    hoststore.attach_handles({})
+
+
+class TestHostStore:
+    def test_publish_attach_round_trip(self):
+        store = publish_hosts([ER, BRIDGE, HostSpec.of("complete", n=64)])
+        try:
+            # The implicit host is not shareable; the CSR hosts are.
+            assert len(store) == 2
+            built = build_host(ER)
+            hoststore.attach_handles(store.handles)
+            attached = hoststore.lookup(ER)
+            assert attached is not None and attached is not built
+            np.testing.assert_array_equal(attached.indptr, built.indptr)
+            np.testing.assert_array_equal(attached.indices, built.indices)
+            # Repeated lookups return the same zero-copy graph.
+            assert hoststore.lookup(ER) is attached
+            # The bridge kernel travels with the handle.
+            bridge = hoststore.lookup(BRIDGE)
+            kernel = bridge.count_chain_kernel()
+            assert kernel is not None and kernel.n == 128
+            # Unpublished specs miss.
+            assert hoststore.lookup(HostSpec.of("complete", n=64)) is None
+        finally:
+            store.close()
+
+    def test_attached_graph_samples_like_built_graph(self):
+        store = publish_hosts([ER])
+        try:
+            hoststore.attach_handles(store.handles)
+            attached = hoststore.lookup(ER)
+            built = build_host(ER)
+            rng_a = np.random.default_rng(3)
+            rng_b = np.random.default_rng(3)
+            ids = attached.vertex_ids
+            np.testing.assert_array_equal(
+                attached.sample_neighbors_batch(ids, 3, rng_a, 4),
+                built.sample_neighbors_batch(ids, 3, rng_b, 4),
+            )
+        finally:
+            store.close()
+
+    def test_pool_attaches_instead_of_rebuilding(self):
+        spec = SweepSpec(
+            name="store", points=tuple(_point(ER, i) for i in range(4))
+        )
+        serial = run_sweep(spec, jobs=1)
+        pooled = run_sweep(spec, jobs=2)
+        for (_, a), (_, b) in zip(serial, pooled):
+            np.testing.assert_array_equal(a.steps, b.steps)
+            np.testing.assert_array_equal(a.winners, b.winners)
+        assert pooled.stats.hosts_published == 1
+        assert pooled.stats.host_builds == 0
+        assert pooled.stats.host_attaches >= 1
+
+    def test_share_hosts_opt_out(self):
+        spec = SweepSpec(
+            name="nostore", points=tuple(_point(ER, 10 + i) for i in range(3))
+        )
+        outcome = run_sweep(spec, jobs=2, share_hosts=False)
+        assert outcome.stats.hosts_published == 0
+        assert outcome.stats.host_attaches == 0
+
+    def test_kernel_routing_survives_the_pool(self):
+        """Bridge points execute on the count chain inside workers too:
+        pooled results must equal serial results bit-for-bit (both paths
+        route through the attached kernel)."""
+        spec = SweepSpec(
+            name="bridge", points=tuple(_point(BRIDGE, i) for i in range(3))
+        )
+        serial = run_sweep(spec, jobs=1)
+        pooled = run_sweep(spec, jobs=2)
+        for (_, a), (_, b) in zip(serial, pooled):
+            np.testing.assert_array_equal(a.steps, b.steps)
+            np.testing.assert_array_equal(a.winners, b.winners)
+
+    def test_shareable_families_are_csr_backed(self):
+        from repro.sweeps.runner import host_families
+
+        assert SHAREABLE_FAMILIES <= set(host_families())
+
+
+class TestCostOrdering:
+    def test_host_vertex_count_families(self):
+        assert host_vertex_count(HostSpec.of("complete", n=100)) == 100
+        assert host_vertex_count(HostSpec.of("rook", side=12)) == 144
+        assert host_vertex_count(BRIDGE) == 128
+        assert (
+            host_vertex_count(
+                HostSpec.of("star_polluted", core=96, pendants=32)
+            )
+            == 128
+        )
+        assert (
+            host_vertex_count(
+                HostSpec.of("complete_multipartite", sizes=(8, 16, 32))
+            )
+            == 56
+        )
+        assert host_vertex_count(ER) == 192
+
+    def test_estimated_cost_monotone_in_all_axes(self):
+        base = _point(ER, 0, trials=4, max_steps=100)
+        assert estimated_cost(base) == 192 * 4 * 100
+        assert estimated_cost(
+            dataclasses.replace(base, trials=8)
+        ) > estimated_cost(base)
+        assert estimated_cost(
+            dataclasses.replace(base, max_steps=200)
+        ) > estimated_cost(base)
+
+    def test_results_invariant_to_ordering(self):
+        """Largest-first submission must not change any payload: mixed
+        sizes through serial, pooled, and no-store pooled execution."""
+        points = tuple(
+            _point(h, i, trials=2, max_steps=150)
+            for i, h in enumerate(
+                [ER, HostSpec.of("complete", n=4096), BRIDGE,
+                 HostSpec.of("complete", n=64)]
+            )
+        )
+        spec = SweepSpec(name="order", points=points)
+        serial = run_sweep(spec, jobs=1)
+        pooled = run_sweep(spec, jobs=2)
+        for (_, a), (_, b) in zip(serial, pooled):
+            np.testing.assert_array_equal(a.steps, b.steps)
+            np.testing.assert_array_equal(a.winners, b.winners)
+
+
+class TestUnpicklableDegradation:
+    def _unpicklable_spec(self):
+        class LocalHostSpec(HostSpec):  # local class: not picklable
+            pass
+
+        host = LocalHostSpec(family="complete", params=(("n", 128),))
+        points = tuple(_point(host, i, trials=2) for i in range(3))
+        return SweepSpec(name="lambdaish", points=points)
+
+    def test_degrades_to_serial_with_warning(self):
+        spec = self._unpicklable_spec()
+        with pytest.warns(RuntimeWarning, match="could not be pickled"):
+            outcome = run_sweep(spec, jobs=2)
+        serial = run_sweep(spec, jobs=1)
+        for (_, a), (_, b) in zip(serial, outcome):
+            np.testing.assert_array_equal(a.steps, b.steps)
+            np.testing.assert_array_equal(a.winners, b.winners)
+
+    def test_mixed_picklable_and_not(self):
+        """Poolable points still use the pool; only the unpicklable ones
+        run serially — and every payload lands."""
+        bad = self._unpicklable_spec()
+        good = SweepSpec(
+            name="good", points=tuple(_point(ER, 20 + i) for i in range(3))
+        )
+        with pytest.warns(RuntimeWarning, match="3 of 6"):
+            outcomes = run_sweeps([bad, good], jobs=2)
+        assert all(
+            ens is not None for o in outcomes for ens in o.ensembles
+        )
+        serial = run_sweeps([bad, good], jobs=1)
+        for o_par, o_ser in zip(outcomes, serial):
+            for (_, a), (_, b) in zip(o_ser, o_par):
+                np.testing.assert_array_equal(a.steps, b.steps)
+
+    def test_serial_path_never_warns(self):
+        spec = self._unpicklable_spec()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run_sweep(spec, jobs=1)
