@@ -21,9 +21,18 @@ from repro._version import __version__
 from repro.core import (
     BLUE,
     RED,
+    AsyncSweepBestOfK,
+    BestOfK,
     BestOfKDynamics,
     EnsembleResult,
+    LocalMajority,
+    NoisyBestOfK,
+    NoisyZealotBestOfK,
+    Plurality,
+    Protocol,
     RunResult,
+    Voter,
+    ZealotBestOfK,
     run_ensemble,
     SprinkledDAG,
     Theorem1Certificate,
@@ -78,6 +87,16 @@ __all__ = [
     "step_best_of_k",
     "EnsembleResult",
     "run_ensemble",
+    # protocols (DESIGN.md §2.6)
+    "Protocol",
+    "BestOfK",
+    "Voter",
+    "NoisyBestOfK",
+    "ZealotBestOfK",
+    "NoisyZealotBestOfK",
+    "AsyncSweepBestOfK",
+    "LocalMajority",
+    "Plurality",
     # analysis objects
     "VotingDAG",
     "SprinkledDAG",

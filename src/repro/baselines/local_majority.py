@@ -9,7 +9,12 @@ complete bipartite graph) — so the runner detects both fixed points and
 (whose consensus states are the only absorbing states reachable w.p. 1).
 
 Requires an explicit :class:`~repro.graphs.csr.CSRGraph` host (the update
-is one sparse matrix–vector product per round).
+is one sparse matrix product per round).  The round itself is the
+:class:`~repro.core.protocols.LocalMajority` protocol's batched step
+(this runner drives it at ``R = 1`` and adds the Goles–Olivos 2-cycle
+detector, which the generic engine loop deliberately omits); multi-trial
+ensembles go through ``run_ensemble(protocol=LocalMajority(), ...)``
+directly, as E8 does.
 """
 
 from __future__ import annotations
@@ -18,7 +23,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.opinions import BLUE, OPINION_DTYPE, RED
+from repro.core.opinions import BLUE, RED
+from repro.core.protocols import LocalMajority
 from repro.graphs.base import Graph
 from repro.graphs.csr import CSRGraph
 from repro.util.validation import check_positive_int
@@ -74,19 +80,12 @@ def local_majority_run(
         raise ValueError(
             f"initial_opinions shape {opinions.shape} does not match n={n}"
         )
-    adj = csr.adjacency_scipy()
-    deg = csr.degrees.astype(np.int64)
-    current = opinions.astype(OPINION_DTYPE, copy=True)
+    protocol = LocalMajority()
+    current = opinions.astype(protocol.opinion_dtype, copy=True)
     prev = None
     trajectory = [int(current.sum())]
     for step in range(1, max_steps + 1):
-        blue_neighbors = adj @ current.astype(np.float64)
-        twice = 2 * blue_neighbors.astype(np.int64)
-        nxt = np.where(
-            twice > deg,
-            np.uint8(BLUE),
-            np.where(twice < deg, np.uint8(RED), current),
-        ).astype(OPINION_DTYPE)
+        nxt = protocol.step_batch(csr, current[None, :], rng=None)[0]
         trajectory.append(int(nxt.sum()))
         if np.array_equal(nxt, current):
             blue = int(current.sum())

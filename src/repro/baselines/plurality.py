@@ -8,9 +8,14 @@ three sampled opinions.  They prove plurality consensus w.h.p. in
 the top two opinions is
 ``Ω(min{√(2q), (n/log n)^{1/6}}·√(n·log n))``.
 
-This module generalises the library's two-colour engine to ``q`` colours
-(opinion codes ``0..q-1``) and provides the [2] gap threshold for the E8
-comparison harness.
+This module is a thin wrapper over the
+:class:`~repro.core.protocols.Plurality` protocol (opinion codes
+``0..q-1``): :func:`plurality_step` is the protocol's batched round at
+``R = 1``, :func:`plurality_ensemble` drives many trials through the
+ensemble engine at once (counts batched over the replica axis), and
+:func:`plurality_run` keeps the single-run per-colour count trajectory
+the [2] gap analysis consumes.  :func:`becchetti_gap_threshold` provides
+the [2] threshold for the E8 comparison harness.
 """
 
 from __future__ import annotations
@@ -20,6 +25,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.ensemble import EnsembleResult, run_ensemble
+from repro.core.protocols import Plurality
 from repro.graphs.base import Graph
 from repro.util.rng import SeedLike, as_generator
 from repro.util.validation import check_positive_int
@@ -29,6 +36,7 @@ __all__ = [
     "plurality_step",
     "PluralityResult",
     "plurality_run",
+    "plurality_ensemble",
     "becchetti_gap_threshold",
 ]
 
@@ -55,6 +63,8 @@ def plurality_step(
     For each vertex, sort its three sampled opinions: if any value repeats
     the median equals the majority value; otherwise (three distinct
     values) adopt a uniform random one of the three — the [2] tie rule.
+    Thin wrapper: one row of the batched
+    :meth:`~repro.core.protocols.Plurality.step_batch` round.
     """
     n = graph.num_vertices
     opinions = np.asarray(opinions)
@@ -62,17 +72,11 @@ def plurality_step(
         raise ValueError(
             f"opinions shape {opinions.shape} does not match graph n={n}"
         )
-    vertices = np.arange(n, dtype=np.int64)
-    samples = graph.sample_neighbors(vertices, 3, rng)
-    vals = np.sort(opinions[samples], axis=1)
-    majority = vals[:, 1]  # the median is the repeated value when one exists
-    tie = (vals[:, 0] != vals[:, 1]) & (vals[:, 1] != vals[:, 2])
-    n_tie = int(np.count_nonzero(tie))
-    out = majority.copy()
-    if n_tie:
-        pick = rng.integers(0, 3, size=n_tie)
-        out[tie] = vals[tie, pick]
-    return out
+    q = max(int(opinions.max()) + 1, 2)
+    proto = Plurality(q)
+    return proto.step_batch(
+        graph, opinions.astype(np.int64, copy=False)[None, :], rng
+    )[0]
 
 
 @dataclass
@@ -133,6 +137,40 @@ def plurality_run(
         winner=winner,
         steps=steps,
         count_trajectory=trajectory,
+    )
+
+
+def plurality_ensemble(
+    graph: Graph,
+    *,
+    trials: int,
+    probabilities: np.ndarray,
+    seed: SeedLike = None,
+    max_steps: int = 10_000,
+) -> EnsembleResult:
+    """Batched q-colour plurality ensemble from i.i.d. initial opinions.
+
+    All trials advance together through the ensemble engine with the
+    :class:`~repro.core.protocols.Plurality` protocol — per-round counts
+    are batched over the replica axis (``blue_trajectories`` holds each
+    trial's *leading-colour* count, winners the consensus colour code).
+    """
+    probs = np.asarray(probabilities, dtype=np.float64)
+    proto = Plurality(probs.size)
+
+    def initializer(
+        n: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        return random_plurality_opinions(n, probs, rng=rng)
+
+    return run_ensemble(
+        graph,
+        protocol=proto,
+        replicas=trials,
+        seed=seed,
+        max_steps=max_steps,
+        initializer=initializer,
+        record_trajectories=False,
     )
 
 

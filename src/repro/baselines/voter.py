@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.dynamics import BestOfKDynamics
 from repro.core.ensemble import EnsembleResult, run_ensemble
 from repro.core.opinions import RED
+from repro.core.protocols import Voter
 from repro.graphs.base import Graph
 from repro.util.rng import SeedLike
 
@@ -42,17 +43,19 @@ def voter_ensemble(
 ) -> EnsembleResult:
     """Batched voter-model ensemble from an exact initial count.
 
-    All trials advance together through the batched engine — essential for
-    the voter model, whose Θ(n)-scale consensus times made the old
-    per-trial loop the slowest part of E8's win-law check.  *max_steps*
-    defaults to ``100·n`` (the coalescing-walk scale on expanders).
+    A thin wrapper over the engine with the
+    :class:`~repro.core.protocols.Voter` protocol (``BestOfK(1)``): all
+    trials advance together — essential for the voter model, whose
+    Θ(n)-scale consensus times made the old per-trial loop the slowest
+    part of E8's win-law check.  *max_steps* defaults to ``100·n`` (the
+    coalescing-walk scale on expanders).
     """
     if max_steps is None:
         max_steps = 100 * graph.num_vertices
     return run_ensemble(
         graph,
+        protocol=Voter(),
         replicas=trials,
-        k=1,
         seed=seed,
         max_steps=max_steps,
         initial_blue_counts=initial_blue,

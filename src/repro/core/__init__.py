@@ -6,6 +6,10 @@ Layout (mirrors the paper):
   (§2: i.i.d. blue with probability ``1/2 − δ``).
 * :mod:`repro.core.dynamics` — the synchronous Best-of-k update rule and
   run loop (§2's Markov chain ``(ξ_t)``).
+* :mod:`repro.core.protocols` — first-class protocol objects (Best-of-k
+  and its noisy/zealot/async variants, voter, local majority,
+  plurality) bundling batch step + count-chain transition + mean-field
+  map for the ensemble engine (DESIGN.md §2.6).
 * :mod:`repro.core.recursions` — equations (1)–(5) and the Lemma 4 phase
   decomposition; the Theorem 1 round-budget predictor.
 * :mod:`repro.core.voting_dag` — the dual voting-DAG ``H(v₀, T)`` of §2.
@@ -27,15 +31,19 @@ from repro.core.dynamics import (
 )
 from repro.core.ensemble import (
     EnsembleResult,
+    build_initial_matrix,
     count_chain_step,
     majority_win_probability,
     run_ensemble,
     step_best_of_k_batch,
 )
 from repro.core.kernels import (
+    AdoptionLaw,
     CompleteKernel,
     CountChainKernel,
+    MajorityLaw,
     MultipartiteKernel,
+    NoisyLaw,
     TwoCliqueBridgeKernel,
     binomial_draw,
 )
@@ -43,6 +51,20 @@ from repro.core.meanfield import (
     best_of_k_hitting_time,
     best_of_k_map,
     best_of_k_trajectory,
+    noisy_best_of_k_map,
+    plurality_map,
+    zealot_best_of_k_map,
+)
+from repro.core.protocols import (
+    AsyncSweepBestOfK,
+    BestOfK,
+    LocalMajority,
+    NoisyBestOfK,
+    NoisyZealotBestOfK,
+    Plurality,
+    Protocol,
+    Voter,
+    ZealotBestOfK,
 )
 from repro.core.opinions import (
     BLUE,
@@ -96,16 +118,32 @@ __all__ = [
     "EnsembleResult",
     "run_ensemble",
     "step_best_of_k_batch",
+    "build_initial_matrix",
     "count_chain_step",
     "majority_win_probability",
     "binomial_draw",
+    "AdoptionLaw",
+    "MajorityLaw",
+    "NoisyLaw",
     "CountChainKernel",
     "CompleteKernel",
     "MultipartiteKernel",
     "TwoCliqueBridgeKernel",
+    "Protocol",
+    "BestOfK",
+    "Voter",
+    "NoisyBestOfK",
+    "ZealotBestOfK",
+    "NoisyZealotBestOfK",
+    "AsyncSweepBestOfK",
+    "LocalMajority",
+    "Plurality",
     "best_of_k_map",
     "best_of_k_trajectory",
     "best_of_k_hitting_time",
+    "noisy_best_of_k_map",
+    "zealot_best_of_k_map",
+    "plurality_map",
     "ideal_step",
     "ideal_trajectory",
     "ideal_hitting_time",

@@ -29,10 +29,21 @@ that with a single engine that advances all live replicas together
   :func:`~repro.core.kernels.binomial_draw`'s Gaussian/Poisson regime
   above 2³¹, which makes ``n = 10¹⁰``-scale Theorem 1 sweeps feasible.
 
+Since the Protocol layer (DESIGN.md §2.6) the engine is dynamics-generic:
+``run_ensemble(protocol=...)`` drives any :class:`repro.core.protocols.
+Protocol` — noisy/zealot/async Best-of-k, the voter model, deterministic
+local majority, q-colour plurality — through the same two paths.  The
+protocol supplies the batched step, the count-chain transition (an
+adoption law plus optional pinned slots), and the termination semantics;
+the engine owns the loop, compaction, and bookkeeping.  Passing
+``k``/``tie_rule`` instead of a protocol builds the default ``BestOfK``
+and is unchanged draw-for-draw from the pre-Protocol engine.
+
 Randomness: the engine consumes one generator for the whole batch, so
 results are deterministic given a seed but not bitwise-identical to the
 old sequential loop; equivalence is distributional (covered by
-``tests/test_core_ensemble.py`` and ``tests/test_count_chain_kernels.py``).
+``tests/test_core_ensemble.py``, ``tests/test_count_chain_kernels.py``
+and ``tests/test_protocols.py``).
 """
 
 from __future__ import annotations
@@ -67,6 +78,7 @@ __all__ = [
     "binomial_draw",
     "count_chain_step",
     "step_best_of_k_batch",
+    "build_initial_matrix",
     "run_ensemble",
 ]
 
@@ -117,10 +129,16 @@ class EnsembleResult:
         Engine path used (``"batched"`` or ``"count_chain"``).
     blue_trajectories:
         Per-replica blue-count trajectories ``[B_0, …, B_steps]`` (ragged
-        list, present when recording was requested).
+        list, present when recording was requested).  For multi-colour
+        protocols this is the protocol's progress statistic (plurality:
+        the leading-colour count).
     final_opinions:
         ``(R, n)`` terminal opinion matrix (dense path with
         ``keep_final=True`` only).
+    final_totals:
+        ``(R,)`` terminal blue totals (progress statistic), recorded on
+        both paths — the zealot payloads read ordinary-blue counts off
+        it without needing trajectories.
     """
 
     n: int
@@ -131,6 +149,7 @@ class EnsembleResult:
     method: str
     blue_trajectories: list[np.ndarray] | None = field(default=None, repr=False)
     final_opinions: np.ndarray | None = field(default=None, repr=False)
+    final_totals: np.ndarray | None = field(default=None, repr=False)
 
     @property
     def converged_count(self) -> int:
@@ -273,6 +292,7 @@ def run_ensemble(
     graph: Graph,
     *,
     replicas: int,
+    protocol=None,
     k: int = 3,
     tie_rule: TieRule = TieRule.KEEP_SELF,
     seed: SeedLike = None,
@@ -286,7 +306,13 @@ def run_ensemble(
     method: EnsembleMethod = "auto",
     max_batch_bytes: int = DEFAULT_BATCH_BYTES,
 ) -> EnsembleResult:
-    """Run *replicas* independent Best-of-k runs as one batched simulation.
+    """Run *replicas* independent dynamics runs as one batched simulation.
+
+    *protocol* is any :class:`repro.core.protocols.Protocol` (noisy /
+    zealot / async Best-of-k, voter, local majority, plurality, …);
+    omitting it builds the default ``BestOfK(k, tie_rule=tie_rule)`` —
+    the paper's protocol, draw-for-draw identical to the pre-Protocol
+    engine (``k``/``tie_rule`` are ignored when *protocol* is given).
 
     Exactly one initial-condition source must be given:
 
@@ -300,18 +326,25 @@ def run_ensemble(
       uniform placement on the dense path, split across a kernel's slots
       by the uniform-placement law on the chain path.
 
+    The protocol's :meth:`~repro.core.protocols.Protocol.prepare_state`
+    runs after initialisation (zealots pin their vertices BLUE here).
+
     ``method="auto"`` routes any host that advertises a
     :meth:`~repro.graphs.Graph.count_chain_kernel` (``K_n``, complete
     bipartite/multipartite families, the two-clique bridge) to its exact
-    count chain unless per-vertex output (``keep_final``) is requested;
-    every other host uses the batched dense path.  The routing is
-    lossless for counts, consensus times, and winners: conditioned on the
-    kernel's slot counts, the host's update law does not depend on the
-    placement within slots, whatever the initial condition.
+    count chain when the protocol supports it (Best-of-k and its noisy /
+    zealot overlays do) and per-vertex output (``keep_final``) is not
+    requested; everything else uses the batched dense path.  The routing
+    is lossless for counts, consensus times, and winners: conditioned on
+    the kernel's slot counts, the host's update law does not depend on
+    the placement within slots, whatever the initial condition.
     """
+    from repro.core.protocols import BestOfK
+
     replicas = check_positive_int(replicas, "replicas")
-    k = check_positive_int(k, "k")
     max_steps = check_positive_int(max_steps, "max_steps")
+    if protocol is None:
+        protocol = BestOfK(k, tie_rule=tie_rule)
     n = graph.num_vertices
     given = [
         name
@@ -335,10 +368,9 @@ def run_ensemble(
     rng = as_generator(dyn_ss)
 
     kernel = graph.count_chain_kernel()
+    chain_ok = kernel is not None and protocol.supports_kernel(kernel)
     if method == "auto":
-        method = (
-            "count_chain" if kernel is not None and not keep_final else "batched"
-        )
+        method = "count_chain" if chain_ok and not keep_final else "batched"
     if method == "count_chain":
         if kernel is None:
             raise ValueError(
@@ -347,17 +379,22 @@ def run_ensemble(
                 "complete multipartite families, and the two-clique bridge "
                 "do); use method='batched'"
             )
+        if not chain_ok:
+            raise ValueError(
+                f"{type(protocol).__name__} has no count-chain transition "
+                "on this host; use method='batched'"
+            )
         if keep_final:
             raise ValueError(
                 "the count-chain path tracks counts only; keep_final "
                 "requires method='batched'"
             )
         state0 = _initial_kernel_state(
-            kernel, replicas, init_ss, delta, initializer, initial_opinions,
-            initial_blue_counts,
+            kernel, protocol, replicas, init_ss, delta, initializer,
+            initial_opinions, initial_blue_counts,
         )
         return _run_count_chain(
-            kernel, k, tie_rule, state0, rng, max_steps, record_trajectories
+            kernel, protocol, state0, rng, max_steps, record_trajectories
         )
     if method != "batched":
         raise ValueError(
@@ -366,11 +403,36 @@ def run_ensemble(
         )
     init_matrix = _initial_matrix(
         n, replicas, init_ss, delta, initializer, initial_opinions,
-        initial_blue_counts,
+        initial_blue_counts, dtype=protocol.opinion_dtype,
     )
+    init_matrix = protocol.prepare_state(init_matrix)
     return _run_batched(
-        graph, k, tie_rule, init_matrix, rng, max_steps,
+        graph, protocol, init_matrix, rng, max_steps,
         record_trajectories, keep_final, max_batch_bytes,
+    )
+
+
+def build_initial_matrix(
+    n: int,
+    replicas: int,
+    seed: SeedLike = None,
+    *,
+    delta: float | None = None,
+    initializer: Callable[[int, np.random.Generator], np.ndarray] | None = None,
+    initial_blue_counts: np.ndarray | int | None = None,
+    dtype=OPINION_DTYPE,
+) -> np.ndarray:
+    """Materialise the ``(R, n)`` initial matrix an engine run would use.
+
+    Public for paired executions (E14's sync/async comparison): build
+    the shared initial configurations once from *seed*'s init stream,
+    then hand the same matrix to several ``run_ensemble(protocol=...)``
+    calls via ``initial_opinions``.
+    """
+    init_ss = spawn_generators(seed, 1)[0]
+    return _initial_matrix(
+        n, replicas, init_ss, delta, initializer, None, initial_blue_counts,
+        dtype=dtype,
     )
 
 
@@ -382,10 +444,11 @@ def _initial_matrix(
     initializer,
     initial_opinions,
     initial_blue_counts,
+    dtype=OPINION_DTYPE,
 ) -> np.ndarray:
     """Materialise the ``(R, n)`` initial opinion matrix."""
     if initial_opinions is not None:
-        mat = np.asarray(initial_opinions, dtype=OPINION_DTYPE)
+        mat = np.asarray(initial_opinions, dtype=dtype)
         if mat.ndim == 1:
             mat = np.broadcast_to(mat, (replicas, n))
         if mat.shape != (replicas, n):
@@ -393,9 +456,9 @@ def _initial_matrix(
                 f"initial_opinions must have shape ({replicas}, {n}) or "
                 f"({n},), got {np.asarray(initial_opinions).shape}"
             )
-        return np.array(mat, dtype=OPINION_DTYPE, copy=True)
+        return np.array(mat, dtype=dtype, copy=True)
     gens = spawn_generators(init_ss, replicas)
-    mat = np.empty((replicas, n), dtype=OPINION_DTYPE)
+    mat = np.empty((replicas, n), dtype=dtype)
     if delta is not None:
         for i, gen in enumerate(gens):
             mat[i] = random_opinions(n, delta, rng=gen)
@@ -406,7 +469,7 @@ def _initial_matrix(
                 raise ValueError(
                     f"initializer returned shape {row.shape}, expected ({n},)"
                 )
-            mat[i] = row.astype(OPINION_DTYPE, copy=False)
+            mat[i] = row.astype(dtype, copy=False)
     else:
         counts = np.broadcast_to(
             np.asarray(initial_blue_counts, dtype=np.int64), (replicas,)
@@ -418,6 +481,7 @@ def _initial_matrix(
 
 def _initial_kernel_state(
     kernel: CountChainKernel,
+    protocol,
     replicas: int,
     init_ss,
     delta,
@@ -426,10 +490,17 @@ def _initial_kernel_state(
     initial_blue_counts,
 ) -> np.ndarray:
     """Initial ``(R, slots)`` kernel state, avoiding O(R·n) memory when
-    possible (the whole point of the chain path at large ``n``)."""
+    possible (the whole point of the chain path at large ``n``).
+
+    The protocol's pinned slots (zealots) flow into the count laws —
+    slot-count draws reproduce "initialise, then pin BLUE" exactly;
+    materialised rows go through ``prepare_state`` before projection.
+    """
+    pinned = protocol.kernel_pinned(kernel)
     if delta is not None or initial_blue_counts is not None:
         return kernel.initial_state(
-            replicas, init_ss, delta=delta, blue_counts=initial_blue_counts
+            replicas, init_ss, delta=delta, blue_counts=initial_blue_counts,
+            pinned=pinned,
         )
     n = kernel.n
     if initial_opinions is not None:
@@ -441,14 +512,20 @@ def _initial_kernel_state(
                     f"({n},), got {mat.shape}"
                 )
             # Shared row: project once, repeat — never materialise (R, n).
+            row = protocol.prepare_state(
+                mat[None, :].astype(protocol.opinion_dtype, copy=True)
+            )
             return np.repeat(
-                kernel.state_from_opinions(mat[None, :]), replicas, axis=0
+                kernel.state_from_opinions(row), replicas, axis=0
             )
         if mat.shape != (replicas, n):
             raise ValueError(
                 f"initial_opinions must have shape ({replicas}, {n}) or "
                 f"({n},), got {mat.shape}"
             )
+        mat = protocol.prepare_state(
+            mat.astype(protocol.opinion_dtype, copy=True)
+        )
         return kernel.state_from_opinions(mat)
     # Initialiser: materialise one replica row at a time and project; the
     # chain is exact conditioned on any placement's slot counts.
@@ -460,14 +537,16 @@ def _initial_kernel_state(
             raise ValueError(
                 f"initializer returned shape {row.shape}, expected ({n},)"
             )
-        state[i] = kernel.state_from_opinions(row[None, :])[0]
+        row = protocol.prepare_state(
+            row[None, :].astype(protocol.opinion_dtype, copy=True)
+        )
+        state[i] = kernel.state_from_opinions(row)[0]
     return state
 
 
 def _run_count_chain(
     kernel: CountChainKernel,
-    k: int,
-    tie_rule: TieRule,
+    protocol,
     state0: np.ndarray,
     rng: np.random.Generator,
     max_steps: int,
@@ -479,32 +558,37 @@ def _run_count_chain(
     steps = np.zeros(replicas, dtype=np.int64)
     winners = np.full(replicas, -1, dtype=np.int64)
     converged = np.zeros(replicas, dtype=bool)
+    final_totals = np.asarray(totals0, dtype=np.int64).copy()
     traj: list[list[int]] | None = (
         [[int(c)] for c in totals0] if record_trajectories else None
     )
-    absorbed = (totals0 == 0) | (totals0 == n)
-    converged[absorbed] = True
-    winners[absorbed] = np.where(totals0[absorbed] == n, BLUE, RED)
+    absorbed = protocol.absorbed(totals0, n)
+    w0 = protocol.winners(totals0[absorbed], n)
+    converged[absorbed] = w0 >= 0
+    winners[absorbed] = w0
     live = np.nonzero(~absorbed)[0]
     state = state0[live]
     t = 0
     while live.size and t < max_steps:
-        state = kernel.step(state, k, rng, tie_rule=tie_rule)
+        state = protocol.kernel_step(kernel, state, rng)
         totals = kernel.blue_totals(state)
         t += 1
         if traj is not None:
             for idx, c in zip(live, totals):
                 traj[idx].append(int(c))
-        done = (totals == 0) | (totals == n)
+        done = protocol.absorbed(totals, n)
         if done.any():
             hit = live[done]
-            converged[hit] = True
+            w = protocol.winners(totals[done], n)
+            converged[hit] = w >= 0
             steps[hit] = t
-            winners[hit] = np.where(totals[done] == n, BLUE, RED)
+            winners[hit] = w
+            final_totals[hit] = totals[done]
             live = live[~done]
             state = state[~done]
     if live.size:
         steps[live] = t
+        final_totals[live] = kernel.blue_totals(state)
     return EnsembleResult(
         n=n,
         replicas=replicas,
@@ -517,13 +601,13 @@ def _run_count_chain(
             if traj is not None
             else None
         ),
+        final_totals=final_totals,
     )
 
 
 def _run_batched(
     graph: Graph,
-    k: int,
-    tie_rule: TieRule,
+    protocol,
     init_matrix: np.ndarray,
     rng: np.random.Generator,
     max_steps: int,
@@ -533,19 +617,22 @@ def _run_batched(
 ) -> EnsembleResult:
     n = graph.num_vertices
     replicas = init_matrix.shape[0]
+    dtype = init_matrix.dtype
     steps = np.zeros(replicas, dtype=np.int64)
     winners = np.full(replicas, -1, dtype=np.int64)
     converged = np.zeros(replicas, dtype=bool)
     final = (
-        np.empty((replicas, n), dtype=OPINION_DTYPE) if keep_final else None
+        np.empty((replicas, n), dtype=dtype) if keep_final else None
     )
-    counts0 = np.count_nonzero(init_matrix, axis=1).astype(np.int64)
+    counts0 = protocol.totals(init_matrix)
+    final_totals = np.asarray(counts0, dtype=np.int64).copy()
     traj: list[list[int]] | None = (
         [[int(c)] for c in counts0] if record_trajectories else None
     )
-    absorbed = (counts0 == 0) | (counts0 == n)
-    converged[absorbed] = True
-    winners[absorbed] = np.where(counts0[absorbed] == n, BLUE, RED)
+    absorbed = protocol.absorbed(counts0, n, state=init_matrix, prev=None)
+    w0 = protocol.winners(counts0[absorbed], n, state=init_matrix[absorbed])
+    converged[absorbed] = w0 >= 0
+    winners[absorbed] = w0
     if final is not None:
         final[absorbed] = init_matrix[absorbed]
     live = np.nonzero(~absorbed)[0]
@@ -553,22 +640,25 @@ def _run_batched(
     buffer = np.empty_like(ops)
     t = 0
     while live.size and t < max_steps:
-        step_best_of_k_batch(
-            graph, ops, k, rng, tie_rule=tie_rule, out=buffer,
-            max_batch_bytes=max_batch_bytes,
+        protocol.step_batch(
+            graph, ops, rng, out=buffer, max_batch_bytes=max_batch_bytes
         )
         ops, buffer = buffer, ops
         t += 1
-        counts = np.count_nonzero(ops, axis=1).astype(np.int64)
+        counts = protocol.totals(ops)
         if traj is not None:
             for idx, c in zip(live, counts):
                 traj[idx].append(int(c))
-        done = (counts == 0) | (counts == n)
+        # After the swap, ``buffer`` holds the pre-round state —
+        # deterministic protocols detect fixed points against it.
+        done = protocol.absorbed(counts, n, state=ops, prev=buffer)
         if done.any():
             hit = live[done]
-            converged[hit] = True
+            w = protocol.winners(counts[done], n, state=ops[done])
+            converged[hit] = w >= 0
             steps[hit] = t
-            winners[hit] = np.where(counts[done] == n, BLUE, RED)
+            winners[hit] = w
+            final_totals[hit] = counts[done]
             if final is not None:
                 final[hit] = ops[done]
             # Compact: absorbed replicas stop costing sampling work.
@@ -578,6 +668,7 @@ def _run_batched(
             buffer = buffer[: ops.shape[0]]
     if live.size:
         steps[live] = t
+        final_totals[live] = protocol.totals(ops)
         if final is not None:
             final[live] = ops
     return EnsembleResult(
@@ -593,4 +684,5 @@ def _run_batched(
             else None
         ),
         final_opinions=final,
+        final_totals=final_totals,
     )

@@ -17,6 +17,23 @@ protocol (DESIGN.md §2.5):
   bridge endpoints are not) tracks the special vertices explicitly
   alongside the part chains — still exact, still O(parts) per round.
 
+Protocol-supplied transitions
+-----------------------------
+Since the Protocol layer (DESIGN.md §2.6) the kernels no longer hardwire
+the plain Best-of-k adoption law: each ``step`` accepts
+
+* a *transition* — an :class:`AdoptionLaw` mapping a slot's sample-blue
+  probability ``p`` (and the vertex's own colour, for even-``k``
+  KEEP_SELF ties) to its blue-adoption probability.  The default
+  :class:`MajorityLaw` reproduces the historical behaviour draw-for-draw;
+  :class:`NoisyLaw` is the exact η-mixed layer of ε-noisy Best-of-k
+  (noise coins are i.i.d. per vertex, so conditioning on slot counts
+  still factorises — the chain stays exact);
+* an optional *pinned* vector — per-slot counts of vertices frozen at
+  BLUE (zealots, in the same explicit-slot spirit as the bridge
+  endpoints).  Pinned mass is excluded from the update draws but fully
+  visible to everyone's samples.
+
 State contract
 --------------
 A kernel's ensemble state is one ``(R, num_slots)`` ``int64`` matrix.
@@ -57,6 +74,9 @@ __all__ = [
     "binomial_draw",
     "majority_win_probability",
     "count_chain_step",
+    "AdoptionLaw",
+    "MajorityLaw",
+    "NoisyLaw",
     "CountChainKernel",
     "CompleteKernel",
     "MultipartiteKernel",
@@ -180,6 +200,72 @@ def majority_win_probability(
     return total
 
 
+class AdoptionLaw(abc.ABC):
+    """Per-vertex blue-adoption probability, seen from one sample law.
+
+    The protocol-supplied *transition* of a count-chain round
+    (DESIGN.md §2.6): given the probability ``p`` that one of a vertex's
+    draws is blue, :meth:`adopt` returns the probability that the vertex
+    is blue after the round.  Conditioning on slot counts factorises for
+    any law in which vertices act independently given their sample
+    probabilities — which is what keeps the chains exact under noise,
+    zealots, and any future per-vertex overlay.
+    """
+
+    @abc.abstractmethod
+    def adopt(self, p: np.ndarray | float, own: int) -> np.ndarray:
+        """P(vertex ends the round blue | each draw blue w.p. ``p``).
+
+        ``own`` is the vertex's current colour; it only matters for
+        even-``k`` KEEP_SELF ties (see :attr:`own_matters`).
+        """
+
+    @property
+    def own_matters(self) -> bool:
+        """Whether :meth:`adopt` depends on ``own`` (even-k KEEP_SELF)."""
+        return True
+
+
+class MajorityLaw(AdoptionLaw):
+    """The plain Best-of-k adoption law (the historical default).
+
+    ``adopt`` is exactly :func:`majority_win_probability`, so kernels
+    driven by this law are draw-for-draw identical to the pre-Protocol
+    implementation.
+    """
+
+    def __init__(self, k: int, tie_rule: TieRule = TieRule.KEEP_SELF) -> None:
+        self.k = check_positive_int(k, "k")
+        self.tie_rule = tie_rule
+
+    def adopt(self, p, own):
+        return majority_win_probability(
+            p, self.k, tie_rule=self.tie_rule, own=own
+        )
+
+    @property
+    def own_matters(self) -> bool:
+        return self.k % 2 == 0 and self.tie_rule is TieRule.KEEP_SELF
+
+
+class NoisyLaw(MajorityLaw):
+    """ε-noisy Best-of-k: follow the majority w.p. ``1 − eta``, else flip
+    a fair coin.  Noise coins are independent per vertex, so the mixed
+    law ``(1−eta)·majority + eta/2`` is the *exact* conditional adoption
+    probability — not a mean-field approximation."""
+
+    def __init__(
+        self, k: int, eta: float, tie_rule: TieRule = TieRule.KEEP_SELF
+    ) -> None:
+        super().__init__(k, tie_rule)
+        if not 0.0 <= eta <= 1.0:
+            raise ValueError(f"eta must lie in [0, 1], got {eta}")
+        self.eta = float(eta)
+
+    def adopt(self, p, own):
+        return (1.0 - self.eta) * super().adopt(p, own) + self.eta / 2.0
+
+
 def count_chain_step(
     blue_counts: np.ndarray,
     n: int,
@@ -187,6 +273,8 @@ def count_chain_step(
     rng: np.random.Generator,
     *,
     tie_rule: TieRule = TieRule.KEEP_SELF,
+    transition: AdoptionLaw | None = None,
+    pinned: int = 0,
 ) -> np.ndarray:
     """One exact Best-of-k round of the ``K_n`` blue-count chain.
 
@@ -203,13 +291,23 @@ def count_chain_step(
     the :data:`GAUSSIAN_REGIME_THRESHOLD` the binomials come from
     :func:`binomial_draw`'s Gaussian regime, so the chain keeps running at
     ``n`` far beyond 2³¹.
+
+    *transition* swaps the adoption law (default :class:`MajorityLaw` —
+    draw-for-draw the historical behaviour); *pinned* freezes that many
+    blue vertices (zealots) out of the update while keeping them visible
+    to everyone's samples.
     """
+    law = transition if transition is not None else MajorityLaw(k, tie_rule)
     B = np.asarray(blue_counts, dtype=np.int64)
     p_blue = (B - 1) / (n - 1)
     p_red = B / (n - 1)
-    q_blue = majority_win_probability(p_blue, k, tie_rule=tie_rule, own=BLUE)
-    q_red = majority_win_probability(p_red, k, tie_rule=tie_rule, own=RED)
-    return binomial_draw(rng, B, q_blue) + binomial_draw(rng, n - B, q_red)
+    q_blue = law.adopt(p_blue, BLUE)
+    q_red = law.adopt(p_red, RED)
+    return (
+        pinned
+        + binomial_draw(rng, B - pinned, q_blue)
+        + binomial_draw(rng, n - B, q_red)
+    )
 
 
 # ----------------------------------------------------------------------
@@ -252,6 +350,11 @@ class CountChainKernel(abc.ABC):
     def num_slots(self) -> int:
         """Columns of the state matrix (parts + explicit vertices)."""
 
+    @property
+    @abc.abstractmethod
+    def slot_sizes(self) -> np.ndarray:
+        """``(num_slots,)`` vertex counts per slot (1 for explicit slots)."""
+
     @abc.abstractmethod
     def initial_state(
         self,
@@ -260,6 +363,7 @@ class CountChainKernel(abc.ABC):
         *,
         delta: float | None = None,
         blue_counts: np.ndarray | int | None = None,
+        pinned: np.ndarray | None = None,
     ) -> np.ndarray:
         """``(R, num_slots)`` initial state without materialising opinions.
 
@@ -269,6 +373,11 @@ class CountChainKernel(abc.ABC):
         is given.  Per-replica randomness comes from
         ``spawn_generators(init_ss, replicas)`` — the same stream layout
         the dense path's per-replica initialisers consume.
+
+        *pinned* (per-slot pinned-blue counts) reproduces the zealot
+        convention "draw the configuration, then force the pinned
+        vertices BLUE": free vertices keep their drawn law, pinned mass
+        is added on top.
         """
 
     @abc.abstractmethod
@@ -283,12 +392,71 @@ class CountChainKernel(abc.ABC):
         rng: np.random.Generator,
         *,
         tie_rule: TieRule = TieRule.KEEP_SELF,
+        transition: AdoptionLaw | None = None,
+        pinned: np.ndarray | None = None,
     ) -> np.ndarray:
-        """One synchronous Best-of-k round for every replica (new array)."""
+        """One synchronous round for every replica (new array).
+
+        *transition* supplies the adoption law (default
+        :class:`MajorityLaw` built from ``k``/``tie_rule`` — the
+        historical Best-of-k behaviour, draw-for-draw); *pinned* holds
+        per-slot pinned-blue counts excluded from the update.
+        """
 
     def blue_totals(self, state: np.ndarray) -> np.ndarray:
         """Per-replica blue totals — the absorption/trajectory statistic."""
         return state.sum(axis=1)
+
+    # ------------------------------------------------------------------
+    # Shared pinned-slot helpers
+    # ------------------------------------------------------------------
+
+    def check_pinned(self, pinned: np.ndarray | None) -> np.ndarray | None:
+        """Validate a per-slot pinned-blue vector against the layout."""
+        if pinned is None:
+            return None
+        pinned = np.asarray(pinned, dtype=np.int64)
+        sizes = self.slot_sizes
+        if pinned.shape != sizes.shape:
+            raise ValueError(
+                f"pinned must have shape {sizes.shape}, got {pinned.shape}"
+            )
+        if (pinned < 0).any() or (pinned > sizes).any():
+            raise ValueError(
+                "pinned counts must lie in [0, slot size] per slot; got "
+                f"{pinned.tolist()} for sizes {sizes.tolist()}"
+            )
+        return pinned
+
+    def _pinned_initial_state(
+        self, replicas, init_ss, *, delta, blue_counts, pinned
+    ) -> np.ndarray:
+        """Generic pinned-aware initial state (any slot layout).
+
+        i.i.d. *delta*: free vertices of each slot draw
+        ``Bin(size − pinned, 1/2 − δ)``.  Exact *blue_counts*: the count
+        is placed uniformly over all ``n`` vertices and blues landing on
+        pinned positions are absorbed by them — split with a
+        multivariate hypergeometric over the interleaved
+        ``(pinned, free)`` sub-slot sizes.
+        """
+        gens = spawn_generators(init_ss, replicas)
+        sizes = self.slot_sizes
+        free = sizes - pinned
+        state = np.empty((replicas, sizes.size), dtype=np.int64)
+        if blue_counts is not None:
+            counts = _broadcast_counts(blue_counts, replicas, self.n)
+            split = np.empty(2 * sizes.size, dtype=np.int64)
+            split[0::2] = pinned
+            split[1::2] = free
+            for i, gen in enumerate(gens):
+                state[i] = pinned + gen.multivariate_hypergeometric(
+                    split, int(counts[i])
+                )[1::2]
+        else:
+            for i, gen in enumerate(gens):
+                state[i] = pinned + binomial_draw(gen, free, 0.5 - delta)
+        return state
 
 
 class CompleteKernel(CountChainKernel):
@@ -310,7 +478,19 @@ class CompleteKernel(CountChainKernel):
     def num_slots(self) -> int:
         return 1
 
-    def initial_state(self, replicas, init_ss, *, delta=None, blue_counts=None):
+    @property
+    def slot_sizes(self) -> np.ndarray:
+        return np.array([self.n], dtype=np.int64)
+
+    def initial_state(
+        self, replicas, init_ss, *, delta=None, blue_counts=None, pinned=None
+    ):
+        pinned = self.check_pinned(pinned)
+        if pinned is not None and pinned[0]:
+            return self._pinned_initial_state(
+                replicas, init_ss, delta=delta, blue_counts=blue_counts,
+                pinned=pinned,
+            )
         if blue_counts is not None:
             counts = _broadcast_counts(blue_counts, replicas, self.n)
         else:
@@ -337,9 +517,15 @@ class CompleteKernel(CountChainKernel):
     def state_from_opinions(self, opinions):
         return np.count_nonzero(opinions, axis=1).astype(np.int64)[:, None]
 
-    def step(self, state, k, rng, *, tie_rule=TieRule.KEEP_SELF):
+    def step(
+        self, state, k, rng, *, tie_rule=TieRule.KEEP_SELF, transition=None,
+        pinned=None,
+    ):
+        pinned = self.check_pinned(pinned)
         return count_chain_step(
-            state[:, 0], self.n, k, rng, tie_rule=tie_rule
+            state[:, 0], self.n, k, rng, tie_rule=tie_rule,
+            transition=transition,
+            pinned=0 if pinned is None else int(pinned[0]),
         )[:, None]
 
 
@@ -369,7 +555,19 @@ class MultipartiteKernel(CountChainKernel):
     def num_slots(self) -> int:
         return int(self.sizes.size)
 
-    def initial_state(self, replicas, init_ss, *, delta=None, blue_counts=None):
+    @property
+    def slot_sizes(self) -> np.ndarray:
+        return self.sizes
+
+    def initial_state(
+        self, replicas, init_ss, *, delta=None, blue_counts=None, pinned=None
+    ):
+        pinned = self.check_pinned(pinned)
+        if pinned is not None and pinned.any():
+            return self._pinned_initial_state(
+                replicas, init_ss, delta=delta, blue_counts=blue_counts,
+                pinned=pinned,
+            )
         gens = spawn_generators(init_ss, replicas)
         state = np.empty((replicas, self.num_slots), dtype=np.int64)
         if blue_counts is not None:
@@ -388,16 +586,21 @@ class MultipartiteKernel(CountChainKernel):
             opinions, self._offsets[:-1], axis=1, dtype=np.int64
         )
 
-    def step(self, state, k, rng, *, tie_rule=TieRule.KEEP_SELF):
+    def step(
+        self, state, k, rng, *, tie_rule=TieRule.KEEP_SELF, transition=None,
+        pinned=None,
+    ):
+        law = transition if transition is not None else MajorityLaw(k, tie_rule)
+        pinned = self.check_pinned(pinned)
+        frozen = 0 if pinned is None else pinned[None, :]
         total = state.sum(axis=1, keepdims=True)
         p = (total - state) / (self.n - self.sizes)[None, :].astype(np.float64)
-        q_blue = majority_win_probability(p, k, tie_rule=tie_rule, own=BLUE)
-        if k % 2 == 0 and tie_rule is TieRule.KEEP_SELF:
-            q_red = majority_win_probability(p, k, tie_rule=tie_rule, own=RED)
-        else:
-            q_red = q_blue
-        return binomial_draw(rng, state, q_blue) + binomial_draw(
-            rng, self.sizes[None, :] - state, q_red
+        q_blue = law.adopt(p, BLUE)
+        q_red = law.adopt(p, RED) if law.own_matters else q_blue
+        return (
+            frozen
+            + binomial_draw(rng, state - frozen, q_blue)
+            + binomial_draw(rng, self.sizes[None, :] - state, q_red)
         )
 
 
@@ -434,13 +637,25 @@ class TwoCliqueBridgeKernel(CountChainKernel):
     def num_slots(self) -> int:
         return 2 + 2 * self.bridges
 
+    @property
+    def slot_sizes(self) -> np.ndarray:
+        return self._slot_sizes()
+
     def _slot_sizes(self) -> np.ndarray:
         nb = self.half - self.bridges
         return np.array(
             [nb, nb] + [1] * (2 * self.bridges), dtype=np.int64
         )
 
-    def initial_state(self, replicas, init_ss, *, delta=None, blue_counts=None):
+    def initial_state(
+        self, replicas, init_ss, *, delta=None, blue_counts=None, pinned=None
+    ):
+        pinned = self.check_pinned(pinned)
+        if pinned is not None and pinned.any():
+            return self._pinned_initial_state(
+                replicas, init_ss, delta=delta, blue_counts=blue_counts,
+                pinned=pinned,
+            )
         gens = spawn_generators(init_ss, replicas)
         sizes = self._slot_sizes()
         state = np.empty((replicas, sizes.size), dtype=np.int64)
@@ -465,7 +680,12 @@ class TwoCliqueBridgeKernel(CountChainKernel):
         out[:, 2 + br :] = ops[:, half : half + br]
         return out
 
-    def step(self, state, k, rng, *, tie_rule=TieRule.KEEP_SELF):
+    def step(
+        self, state, k, rng, *, tie_rule=TieRule.KEEP_SELF, transition=None,
+        pinned=None,
+    ):
+        law = transition if transition is not None else MajorityLaw(k, tie_rule)
+        pinned = self.check_pinned(pinned)
         br, half = self.bridges, self.half
         replicas = state.shape[0]
         nb_size = half - br
@@ -480,13 +700,16 @@ class TwoCliqueBridgeKernel(CountChainKernel):
         # corresponding colour class is empty (its binomial count is 0);
         # majority_win_probability clips, so those draws are vacuous.
         for col in (0, 1):
+            frozen = 0 if pinned is None else int(pinned[col])
             blue_nb = state[:, col]
             p_blue = (totals[col] - 1) / (half - 1)
             p_red = totals[col] / (half - 1)
-            q_b = majority_win_probability(p_blue, k, tie_rule=tie_rule, own=BLUE)
-            q_r = majority_win_probability(p_red, k, tie_rule=tie_rule, own=RED)
-            out[:, col] = binomial_draw(rng, blue_nb, q_b) + binomial_draw(
-                rng, nb_size - blue_nb, q_r
+            q_b = law.adopt(p_blue, BLUE)
+            q_r = law.adopt(p_red, RED)
+            out[:, col] = (
+                frozen
+                + binomial_draw(rng, blue_nb - frozen, q_b)
+                + binomial_draw(rng, nb_size - blue_nb, q_r)
             )
         # Bridge endpoints: clique minus self plus the partner endpoint of
         # the other clique, degree half.  Fixed slot order keeps the
@@ -495,18 +718,17 @@ class TwoCliqueBridgeKernel(CountChainKernel):
             for j in range(br):
                 own_col = 2 + side * br + j
                 partner_col = 2 + (1 - side) * br + j
+                if pinned is not None and pinned[own_col]:
+                    out[:, own_col] = 1
+                    continue
                 own = state[:, own_col]
                 partner = state[:, partner_col]
                 p_if_blue = (totals[side] - 1 + partner) / half
                 p_if_red = (totals[side] + partner) / half
                 q = np.where(
                     own == BLUE,
-                    majority_win_probability(
-                        p_if_blue, k, tie_rule=tie_rule, own=BLUE
-                    ),
-                    majority_win_probability(
-                        p_if_red, k, tie_rule=tie_rule, own=RED
-                    ),
+                    law.adopt(p_if_blue, BLUE),
+                    law.adopt(p_if_red, RED),
                 )
                 out[:, own_col] = rng.random(replicas) < q
         return out

@@ -36,6 +36,9 @@ __all__ = [
     "best_of_k_map_parts",
     "best_of_k_trajectory",
     "best_of_k_hitting_time",
+    "noisy_best_of_k_map",
+    "zealot_best_of_k_map",
+    "plurality_map",
     "map_derivative_at_half",
     "fixed_points",
 ]
@@ -111,6 +114,86 @@ def best_of_k_map_parts(
     if tie_rule is TieRule.RANDOM:
         return np.asarray(win + tie / 2.0, dtype=np.float64)
     raise ValueError(f"unknown tie rule {tie_rule!r}")  # pragma: no cover
+
+
+def _unit_interval(value: float, name: str) -> float:
+    """`check_probability` with float-iteration tolerance.
+
+    Iterated maps can overshoot the endpoints by a few ulps
+    (``(1−ζ)g(b) + ζ`` at ``b = 1`` rounds to ``1 + 2⁻⁵²``); clamp those
+    instead of failing mid-bisection.
+    """
+    if -1e-9 <= value <= 1.0 + 1e-9:
+        return min(max(float(value), 0.0), 1.0)
+    return check_probability(value, name)
+
+
+def noisy_best_of_k_map(
+    b: float, eta: float, k: int = 3, *, tie_rule: TieRule = TieRule.KEEP_SELF
+) -> float:
+    """One mean-field round of ε-noisy Best-of-k from blue fraction *b*.
+
+    With probability ``eta`` a vertex ignores its sample and adopts a
+    fair coin, so the map is the η-mixture
+    ``(1 − eta)·g_k(b) + eta/2`` of :func:`best_of_k_map` with the
+    symmetric point.  ``k = 3`` is the E13 bifurcation map (historically
+    :func:`repro.extensions.noisy_dynamics.noisy_ideal_step`): its
+    stable fixed points undergo a pitchfork at ``eta* = 1/3``.
+    """
+    b = _unit_interval(b, "b")
+    eta = check_probability(eta, "eta")
+    if k == 3:
+        # The closed form (equation (1) mixed with the coin) — cheaper
+        # and free of scipy rounding at the bifurcation tangency.
+        return (1.0 - eta) * (3.0 * b * b - 2.0 * b**3) + eta / 2.0
+    return (1.0 - eta) * best_of_k_map(b, k, tie_rule=tie_rule) + eta / 2.0
+
+
+def zealot_best_of_k_map(
+    b: float, zeta: float, k: int = 3, *, tie_rule: TieRule = TieRule.KEEP_SELF
+) -> float:
+    """One mean-field round of Best-of-k with a pinned-blue fraction.
+
+    ``zeta = z/n`` of the population never updates and holds BLUE; the
+    remaining ``1 − zeta`` runs Best-of-k against the *total* blue
+    fraction ``b`` (zealots are sampled like anyone else), so the map on
+    the total fraction is ``(1 − zeta)·g_k(b) + zeta``.  ``k = 3`` is the
+    E15 takeover map whose basin boundary locates the effective zealot
+    threshold.
+    """
+    b = _unit_interval(b, "b")
+    zeta = check_probability(zeta, "zeta")
+    if k == 3:
+        return (1.0 - zeta) * (3.0 * b * b - 2.0 * b**3) + zeta
+    return (1.0 - zeta) * best_of_k_map(b, k, tie_rule=tie_rule) + zeta
+
+
+def plurality_map(fractions: np.ndarray) -> np.ndarray:
+    """One mean-field round of q-colour 3-majority with random ties.
+
+    The [2] protocol (:mod:`repro.baselines.plurality`): sample three,
+    adopt the repeated value, break three-distinct ties by adopting a
+    uniform choice of the sample.  For colour ``i`` with fraction
+    ``p_i`` the adoption probability is
+
+        ``p_i³ + 3·p_i²(1 − p_i) + 2·p_i·e2(p \\ i)``
+
+    where ``e2(p \\ i)`` is the second elementary symmetric function of
+    the *other* fractions (each three-distinct sample containing ``i``
+    has probability ``3!·p_i·p_j·p_l`` and hands ``i`` the tie with
+    probability 1/3).  With ``q = 2`` the tie term vanishes and each
+    colour follows the Best-of-3 drift ``3b² − 2b³``.
+    """
+    p = np.asarray(fractions, dtype=np.float64)
+    if p.ndim != 1 or p.size < 2:
+        raise ValueError("need at least two colour fractions")
+    if np.any(p < 0) or not math.isclose(float(p.sum()), 1.0, rel_tol=1e-9):
+        raise ValueError(
+            f"fractions must be non-negative and sum to 1, got {p}"
+        )
+    e2_all = (1.0 - np.dot(p, p)) / 2.0  # Σ_{j<l} p_j p_l with Σp = 1
+    e2_excl = e2_all - p * (1.0 - p)
+    return p * p * (3.0 - 2.0 * p) + 2.0 * p * e2_excl
 
 
 def best_of_k_trajectory(

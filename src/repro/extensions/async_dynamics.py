@@ -20,6 +20,12 @@ batch simply gets the later write.  Batch size trades fidelity for speed
 changes nothing observable on dense hosts (each batch touches a small
 fraction of vertices, so reads rarely race) while recovering most of the
 vectorised throughput.
+
+This single-trial runner is the *reference implementation*: ensembles go
+through ``run_ensemble(protocol=AsyncSweepBestOfK(k), ...)``
+(:mod:`repro.core.protocols`), which advances all replicas' sweeps
+together; ``tests/test_protocols.py`` enforces distribution equivalence
+between the two.
 """
 
 from __future__ import annotations

@@ -20,6 +20,13 @@ boundary.
 The module provides the exact map, its fixed points, and a simulation
 runner measuring the stationary majority level; ``test_ext_noisy``
 verifies the bifurcation on both the map and the simulation.
+
+This single-trial runner is the *reference implementation*: ensembles go
+through ``run_ensemble(protocol=NoisyBestOfK(eta), ...)``
+(:mod:`repro.core.protocols`), which batches replicas and — on
+exchangeable hosts — runs the exact η-mixed count chain;
+``tests/test_protocols.py`` enforces distribution equivalence between
+the two.
 """
 
 from __future__ import annotations
@@ -48,10 +55,14 @@ near-consensus fixed points; above it only b = 1/2 is stable."""
 
 
 def noisy_ideal_step(b: float, eta: float) -> float:
-    """The noisy mean-field map ``(1−eta)(3b²−2b³) + eta/2``."""
-    b = check_probability(b, "b")
-    eta = check_probability(eta, "eta")
-    return (1.0 - eta) * (3.0 * b * b - 2.0 * b**3) + eta / 2.0
+    """The noisy mean-field map ``(1−eta)(3b²−2b³) + eta/2``.
+
+    Thin wrapper over the general-``k`` map in
+    :func:`repro.core.meanfield.noisy_best_of_k_map` at ``k = 3``.
+    """
+    from repro.core.meanfield import noisy_best_of_k_map
+
+    return noisy_best_of_k_map(b, eta, 3)
 
 
 def noisy_fixed_points(eta: float) -> list[float]:
@@ -116,7 +127,7 @@ def noisy_best_of_three_run(
     gen = as_generator(seed)
 
     state = opinions.astype(OPINION_DTYPE, copy=True)
-    vertices = np.arange(n, dtype=np.int64)
+    vertices = graph.vertex_ids  # cached; no per-run O(n) id allocation
     trajectory = [int(state.sum())]
     initially_blue_minority = trajectory[0] * 2 < n
     for _ in range(rounds):

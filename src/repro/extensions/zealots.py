@@ -15,6 +15,12 @@ impossible, so the observable is the terminal ordinary-vertex state and
 whether blue can leverage the pinned mass to take over — which requires
 ``z/n`` comparable to the gap-to-1/2, mirroring the paper's δ threshold
 from the other side.
+
+This single-trial runner is the *reference implementation*: ensembles go
+through ``run_ensemble(protocol=ZealotBestOfK(z), ...)``
+(:mod:`repro.core.protocols`), where zealots become pinned count-chain
+slots on exchangeable hosts; ``tests/test_protocols.py`` enforces
+distribution equivalence between the two.
 """
 
 from __future__ import annotations
@@ -100,7 +106,7 @@ def zealot_best_of_three_run(
     ordinary[zealot_idx] = False
     state = opinions.astype(OPINION_DTYPE, copy=True)
     state[zealot_idx] = BLUE
-    vertices = np.arange(n, dtype=np.int64)
+    vertices = graph.vertex_ids  # cached; no per-run O(n) id allocation
     trajectory = [int(state.sum())]
     rounds = 0
     n_ordinary = int(ordinary.sum())

@@ -17,9 +17,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.stats import wilson_interval
-from repro.baselines.local_majority import local_majority_run
 from repro.baselines.voter import voter_win_probability
+from repro.core.ensemble import run_ensemble
 from repro.core.opinions import RED, exact_count_opinions, random_opinions
+from repro.core.protocols import LocalMajority
 from repro.harness.base import ExperimentResult
 from repro.sweeps import (
     HostSpec,
@@ -31,7 +32,6 @@ from repro.sweeps import (
     SweepSpec,
     ensure_outcome,
 )
-from repro.util.rng import spawn_generators
 
 EXPERIMENT_ID = "E8"
 TITLE = "Best-of-k protocol comparison (introduction)"
@@ -133,23 +133,31 @@ def run(
         )
         mean_by_name[name] = ens.mean_steps
 
-    # Deterministic local majority (single run per initial condition).
-    gens = spawn_generators((seed, 7), trials)
-    lm_steps, lm_red = [], 0
-    for gen in gens:
-        res = local_majority_run(g, random_opinions(n, DELTA, rng=gen))
-        if res.outcome == "consensus":
-            lm_steps.append(res.steps)
-            lm_red += int(res.winner == RED)
+    # Deterministic local majority: all trials through one batched
+    # engine run (the LocalMajority protocol stops each replica at its
+    # fixed point; non-consensus fixed points count as unconverged, as
+    # the old per-trial loop's outcome filter did).  The short budget
+    # bounds the rare undetected 2-cycle instead of Goles–Olivos.
+    lm = run_ensemble(
+        g,
+        protocol=LocalMajority(),
+        replicas=trials,
+        seed=(seed, 7),
+        initializer=lambda m, rng: random_opinions(m, DELTA, rng=rng),
+        max_steps=64,
+        record_trajectories=False,
+    )
+    lm_steps = lm.steps[lm.converged]
+    lm_red = int(np.count_nonzero(lm.winners[lm.converged] == RED))
     rows.append(
         {
             "protocol": "local majority (det.)",
             "trials": trials,
-            "converged": len(lm_steps),
+            "converged": int(lm.converged_count),
             "red win rate": lm_red / trials,
             "win CI": "-",
-            "mean T": float(np.mean(lm_steps)) if lm_steps else float("nan"),
-            "max T": int(np.max(lm_steps)) if lm_steps else 0,
+            "mean T": float(lm_steps.mean()) if lm_steps.size else float("nan"),
+            "max T": int(lm_steps.max()) if lm_steps.size else 0,
         }
     )
 

@@ -11,10 +11,13 @@ point; above it the majority signal is destroyed.  The experiment sweeps
 fixed points.
 
 The eta axis is declared as a :class:`SweepSpec` (``sweep_spec``) of
-``noisy_best_of_k`` points.  Seed layout: the pre-sweep loop spawned
-``2·len(etas)`` streams from the root seed and gave point ``i`` streams
-``2i``/``2i+1``; each point declares that slice via ``spawn_base=2i``,
-which keeps the table bit-identical to the loop.
+``noisy_best_of_k`` points executed by the Protocol layer: on the
+complete host each point runs the *exact* η-mixed count chain
+(O(1) per round instead of O(n·k) — see DESIGN.md §2.6), with root
+entropy ``(seed, i)`` per point.  The stationary levels are checked
+against the same mean-field fixed points as before; the per-seed table
+values changed once at the count-chain rewire (golden regenerated, like
+E12's bridge rows at the kernel rewire).
 """
 
 from __future__ import annotations
@@ -59,8 +62,7 @@ def sweep_spec(*, quick: bool = True, seed: int = 0) -> SweepSpec:
             init=InitSpec.iid(DELTA),
             trials=1,
             max_steps=rounds,
-            seed=seed,
-            spawn_base=2 * i,
+            seed=(seed, i),
             label=f"eta={eta}",
         )
         for i, eta in enumerate(ETAS)

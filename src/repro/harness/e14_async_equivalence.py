@@ -8,11 +8,13 @@ constant factor across hosts and sizes — and the winner statistics
 should be identical.
 
 The host axis is declared as a :class:`SweepSpec` (``sweep_spec``) of
-``async_vs_sync`` points: each point runs its trials' paired
-synchronous/asynchronous chains from shared initial configurations,
-consuming the historical stream layout (``3j`` init / ``3j+1`` sync /
-``3j+2`` async per trial under root ``(seed, i)``) so the table is
-bit-identical to the pre-sweep loop.
+``async_vs_sync`` points.  ``ProtocolSpec.build()`` pairs a ``BestOfK``
+with an ``AsyncSweepBestOfK`` protocol; the runner executes both through
+the batched engine from *shared* per-trial initial configurations (one
+``(R, n)`` matrix, separate dynamics streams), so every trial still
+compares the two schedulers from the same start — but all trials of a
+point now advance together instead of one at a time.  Per-seed values
+changed once at that rewire (golden regenerated).
 """
 
 from __future__ import annotations

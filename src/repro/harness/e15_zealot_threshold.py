@@ -17,15 +17,19 @@ map's verdict on both sides of it — including the quantitative
 metastable level ``b* − ζ`` of ordinary blue below threshold.
 
 The zeta axis is declared as a :class:`SweepSpec` (``sweep_spec``) of
-``zealot_best_of_k`` points; each point's root seed ``(seed, i)``
-reproduces the pre-sweep loop's stream layout (``2j`` init / ``2j+1``
-dynamics per trial), keeping the table bit-identical.
+``zealot_best_of_k`` points executed by the Protocol layer: zealots are
+pinned slots of the complete host's count chain (the same explicit-slot
+trick the two-clique bridge kernel uses), so each point advances all
+trials in O(1) per round.  The mean-field side now comes from
+:func:`repro.core.meanfield.zealot_best_of_k_map`; per-seed table values
+changed once at the count-chain rewire (golden regenerated).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.meanfield import zealot_best_of_k_map
 from repro.harness.base import ExperimentResult
 from repro.sweeps import (
     HostSpec,
@@ -56,7 +60,7 @@ def _meanfield_limit(zeta: float, *, rounds: int = 2000) -> float:
     """Iterate the zealot mean-field map from the initial composition."""
     b = (0.5 - DELTA) * (1.0 - zeta) + zeta
     for _ in range(rounds):
-        b = (1.0 - zeta) * (3.0 * b * b - 2.0 * b**3) + zeta
+        b = zealot_best_of_k_map(b, zeta)
     return b
 
 

@@ -1,10 +1,16 @@
 """Point execution: map a declarative :class:`~repro.sweeps.spec.Point`
 to an actual simulation.
 
-This module owns the name → code registries (host families, protocols,
-initialisers) so that points stay pure data.  ``execute_point`` is a
-module-level function, picklable by reference, which is what the
-scheduler ships to worker processes.
+This module owns the name → code registries for *hosts* and
+*initialisers* so that points stay pure data.  Protocols are no longer
+dispatched here: :meth:`ProtocolSpec.build` returns a first-class
+:class:`repro.core.protocols.Protocol` (or a mapping of them, for paired
+comparisons) and every kind executes through the one batched engine,
+:func:`repro.core.ensemble.run_ensemble` — including the extension
+protocols, which historically ran bespoke per-trial loops through a
+``_EXECUTORS`` table in this file.  ``execute_point`` is a module-level
+function, picklable by reference, which is what the scheduler ships to
+worker processes.
 
 Host graphs are memoised per process: a sweep typically holds many
 points on the same host (protocol or bias axes), and rebuilding a
@@ -16,40 +22,40 @@ pre-sweep experiment loops used.
 
 Payload shapes
 --------------
-``best_of_k`` points run through the batched ensemble engine and return
-a :class:`~repro.analysis.experiments.ConsensusEnsemble`.  The extension
-protocols (``noisy_best_of_k``, ``async_vs_sync``, ``zealot_best_of_k``)
-run their historical per-trial loops and return plain JSON-native dicts
-of per-trial arrays — both shapes serialise through
+``best_of_k`` points summarise to a
+:class:`~repro.analysis.experiments.ConsensusEnsemble`; every other
+protocol's :meth:`~repro.core.protocols.Protocol.summarize` returns a
+plain JSON-native dict of per-trial arrays (``async_vs_sync`` nests one
+dict per paired component).  Both shapes serialise through
 :func:`repro.io.results.payload_to_dict` for the cache.
 
-Seed contract for the extension protocols
------------------------------------------
-Stream ``j`` of a point is ``SeedSequence(point.seed, spawn_key=
-(point.spawn_base + j,))`` (:func:`point_streams`).  Because
-``SeedSequence(root).spawn(m)[j]`` *is* ``SeedSequence(root,
-spawn_key=(j,))``, a point with ``spawn_base=0`` consumes exactly the
-streams of the historical ``spawn_generators(point.seed, m)`` loops, and
-a harness that carved one shared fan-out into per-point slices (E13's
-``spawn_generators(seed, 2·len(etas))``) names its slice by offset —
-which is what keeps the rewired experiment tables byte-identical to
-their pre-sweep loops.
+Seed contract
+-------------
+A point's ``seed`` tuple is the root entropy of its engine run:
+``run_ensemble`` spawns ``(init, dynamics)`` streams from it, exactly as
+the rewired ``best_of_k`` experiments always did.  Paired points spawn
+one extra child per component (``spawn_key=(1 + j,)``) for the
+components' dynamics streams, so the paired chains share initial
+configurations but never randomness.  :func:`point_streams` (the
+historical per-trial sibling-stream layout, with ``Point.spawn_base``
+naming a slice offset) remains available for consumers that reproduce
+the pre-Protocol per-trial loops.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Callable
+from typing import Callable, Mapping
 
 import numpy as np
 
-from repro.analysis.experiments import ConsensusEnsemble, run_consensus_ensemble
-from repro.core.dynamics import BestOfKDynamics, TieRule
-from repro.core.ensemble import run_ensemble
-from repro.core.opinions import adversarial_opinions, random_opinions
-from repro.extensions.async_dynamics import async_best_of_k_run
-from repro.extensions.noisy_dynamics import noisy_best_of_three_run
-from repro.extensions.zealots import zealot_best_of_three_run
+from repro.analysis.experiments import ConsensusEnsemble
+from repro.core.ensemble import (
+    EnsembleResult,
+    build_initial_matrix,
+    run_ensemble,
+)
+from repro.core.opinions import adversarial_opinions
 from repro.graphs.base import Graph
 from repro.graphs.generators import (
     erdos_renyi,
@@ -163,11 +169,14 @@ def host_access_counts() -> tuple[int, int]:
 
 
 def point_streams(point: Point, count: int) -> list[np.random.Generator]:
-    """The point's first *count* random streams (see the module doc).
+    """The point's first *count* sibling random streams.
 
     Stream ``j`` is ``SeedSequence(point.seed, spawn_key=
     (point.spawn_base + j,))``, i.e. child ``spawn_base + j`` of the
-    point's root entropy under NumPy's spawn convention.
+    point's root entropy under NumPy's spawn convention — the layout the
+    historical per-trial extension loops consumed (kept for
+    equivalence tests and external consumers; the engine path seeds
+    itself from ``point.seed`` directly).
     """
     return [
         as_generator(
@@ -179,192 +188,91 @@ def point_streams(point: Point, count: int) -> list[np.random.Generator]:
     ]
 
 
-def _iid_initializer(point: Point):
-    """Per-trial initial opinions for the extension protocols."""
-    if point.init.kind != "iid_delta":
-        raise ValueError(
-            f"protocol {point.protocol.kind!r} supports iid_delta inits "
-            f"only, got {point.init.kind!r}"
-        )
-    delta = point.init.delta
+def _init_kwargs(point: Point, graph: Graph) -> dict:
+    """Engine initial-condition kwargs for the point's :class:`InitSpec`.
 
-    def init(n: int, rng: np.random.Generator) -> np.ndarray:
-        return random_opinions(n, delta, rng=rng)
-
-    return init
-
-
-def _execute_best_of_k(point: Point, graph: Graph) -> ConsensusEnsemble:
-    tie = TieRule(point.protocol.tie_rule)
-    k = point.protocol.k
-
-    if point.init.kind == "iid_delta":
-
-        def factory(g: Graph) -> BestOfKDynamics:
-            return BestOfKDynamics(g, k=k, tie_rule=tie)
-
-        return run_consensus_ensemble(
-            graph,
-            trials=point.trials,
-            delta=point.init.delta,
-            seed=point.seed,
-            dynamics_factory=factory,
-            max_steps=point.max_steps,
-        )
-
-    if point.init.kind == "adversarial":
-        blue = point.init.blue
-        strategy = point.init.strategy
+    The one remaining name → code mapping besides hosts: ``iid_delta``
+    and ``exact_count`` pass straight through to the engine; the
+    ``adversarial`` placements close over the host graph (they are
+    computed on it).
+    """
+    init = point.init
+    if init.kind == "iid_delta":
+        return {"delta": init.delta}
+    if init.kind == "exact_count":
+        return {"initial_blue_counts": init.blue}
+    if init.kind == "adversarial":
+        blue, strategy = init.blue, init.strategy
 
         def initializer(n: int, rng: np.random.Generator) -> np.ndarray:
             return adversarial_opinions(graph, blue, strategy, rng=rng)
 
-        ens = run_ensemble(
-            graph,
-            replicas=point.trials,
-            k=k,
-            tie_rule=tie,
-            seed=point.seed,
-            max_steps=point.max_steps,
-            initializer=initializer,
-            record_trajectories=False,
-        )
-        return ConsensusEnsemble.from_ensemble_result(ens)
-
-    # exact_count: conditioned starts go through the engine's auto
-    # route — the batched path places each trial's count uniformly via
-    # exact_count_opinions, while kernel hosts (K_n, multipartite, the
-    # bridge) split the count across slots with the equivalent
-    # hypergeometric law and run the exact count chain.
-    ens = run_ensemble(
-        graph,
-        replicas=point.trials,
-        k=k,
-        tie_rule=tie,
-        seed=point.seed,
-        max_steps=point.max_steps,
-        initial_blue_counts=point.init.blue,
-        record_trajectories=False,
+        return {"initializer": initializer}
+    raise ValueError(  # pragma: no cover - InitSpec validates kinds
+        f"unknown init kind {init.kind!r}"
     )
-    return ConsensusEnsemble.from_ensemble_result(ens)
 
 
-def _execute_noisy(point: Point, graph: Graph) -> dict:
-    """ε-noisy Best-of-3 trials; payload = per-trial stationary stats."""
-    if point.protocol.k != 3:
-        raise ValueError("noisy_best_of_k is implemented for k=3 only")
-    init = _iid_initializer(point)
-    streams = point_streams(point, 2 * point.trials)
-    stationary: list[float] = []
-    preserved: list[bool] = []
-    for j in range(point.trials):
-        opinions = init(graph.num_vertices, streams[2 * j])
-        res = noisy_best_of_three_run(
-            graph,
-            opinions,
-            point.protocol.eta,
-            seed=streams[2 * j + 1],
-            rounds=point.max_steps,
-        )
-        stationary.append(float(res.stationary_blue_fraction))
-        preserved.append(bool(res.majority_preserved))
-    return {
-        "stationary_blue_fraction": stationary,
-        "majority_preserved": preserved,
-    }
+def _run_shared_init(
+    graph: Graph, point: Point, components: Mapping[str, object]
+) -> dict:
+    """Run paired protocols from shared initial configurations.
 
-
-def _execute_async_vs_sync(point: Point, graph: Graph) -> dict:
-    """Paired synchronous/asynchronous trials from shared initial states.
-
-    Trial ``j`` consumes streams ``3j`` (init), ``3j+1`` (synchronous
-    chain), ``3j+2`` (asynchronous chain) — the historical E14 layout.
+    Every component sees the *same* per-trial initial opinion matrix
+    (built from the point's init stream — child 0 of its seed, exactly
+    where a single run's initialisers draw from) but its own dynamics
+    stream (child ``1 + j``).  The payload nests each component's
+    per-trial dict under its name.
     """
-    init = _iid_initializer(point)
-    k = point.protocol.k
-    streams = point_streams(point, 3 * point.trials)
-    dyn = BestOfKDynamics(graph, k=k)
-    payload: dict = {
-        "sync": {"converged": [], "steps": [], "winners": []},
-        "async": {"converged": [], "sweeps": [], "winners": []},
-    }
-    for j in range(point.trials):
-        opinions = init(graph.num_vertices, streams[3 * j])
-        s = dyn.run(
-            opinions,
-            seed=streams[3 * j + 1],
+    matrix = build_initial_matrix(
+        graph.num_vertices,
+        point.trials,
+        seed=point.seed,
+        **_init_kwargs(point, graph),
+    )
+    payload: dict = {}
+    for j, (name, protocol) in enumerate(components.items()):
+        res = run_ensemble(
+            graph,
+            protocol=protocol,
+            replicas=point.trials,
+            seed=np.random.SeedSequence(point.seed, spawn_key=(1 + j,)),
             max_steps=point.max_steps,
-            keep_final=False,
+            initial_opinions=matrix,
+            record_trajectories=protocol.record_trajectories,
         )
-        a = async_best_of_k_run(
-            graph,
-            opinions,
-            k=k,
-            seed=streams[3 * j + 2],
-            max_sweeps=point.max_steps,
-        )
-        payload["sync"]["converged"].append(bool(s.converged))
-        payload["sync"]["steps"].append(int(s.steps))
-        payload["sync"]["winners"].append(
-            int(s.winner) if s.winner is not None else None
-        )
-        payload["async"]["converged"].append(bool(a.converged))
-        payload["async"]["sweeps"].append(int(a.sweeps))
-        payload["async"]["winners"].append(
-            int(a.winner) if a.winner is not None else None
-        )
+        payload[name] = protocol.summarize_component(res)
     return payload
-
-
-def _execute_zealot(point: Point, graph: Graph) -> dict:
-    """Best-of-3 with pinned-blue zealots; payload = per-trial outcomes."""
-    if point.protocol.k != 3:
-        raise ValueError("zealot_best_of_k is implemented for k=3 only")
-    init = _iid_initializer(point)
-    z = point.protocol.zealots
-    streams = point_streams(point, 2 * point.trials)
-    outcomes: list[str] = []
-    final_blue: list[int] = []
-    for j in range(point.trials):
-        opinions = init(graph.num_vertices, streams[2 * j])
-        res = zealot_best_of_three_run(
-            graph,
-            opinions,
-            z,
-            seed=streams[2 * j + 1],
-            max_rounds=point.max_steps,
-        )
-        outcomes.append(str(res.ordinary_outcome))
-        final_blue.append(int(res.final_ordinary_blue))
-    return {
-        "ordinary_outcome": outcomes,
-        "final_ordinary_blue": final_blue,
-    }
-
-
-_PROTOCOL_RUNNERS: dict[str, Callable[[Point, Graph], "ConsensusEnsemble | dict"]] = {
-    "best_of_k": _execute_best_of_k,
-    "noisy_best_of_k": _execute_noisy,
-    "async_vs_sync": _execute_async_vs_sync,
-    "zealot_best_of_k": _execute_zealot,
-}
 
 
 def execute_point(point: Point) -> "ConsensusEnsemble | dict":
     """Run the simulation a point describes and summarise it.
 
-    The randomness contract matches the pre-sweep harness loops exactly:
-    ``best_of_k`` points feed ``point.seed`` verbatim to the engine as
-    the root entropy; extension points consume :func:`point_streams` —
-    either way, a rewired experiment reproduces its historical tables
-    bit-for-bit.
+    Protocol dispatch is ``point.protocol.build()`` → ``run_ensemble``:
+    a single protocol executes one engine run (count-chain routed on
+    exchangeable hosts) and summarises itself; a mapping of protocols
+    (``async_vs_sync``) executes one run per component from shared
+    initial configurations.  ``best_of_k`` points feed ``point.seed``
+    verbatim to the engine as the root entropy — unchanged from the
+    pre-Protocol runner, so their experiment tables are bit-identical.
     """
     graph = build_host(point.host)
-    try:
-        runner = _PROTOCOL_RUNNERS[point.protocol.kind]
-    except KeyError:  # pragma: no cover - ProtocolSpec validates kinds
-        raise ValueError(f"unknown protocol kind {point.protocol.kind!r}")
-    return runner(point, graph)
+    built = point.protocol.build()
+    if isinstance(built, Mapping):
+        return _run_shared_init(graph, point, built)
+    res = run_ensemble(
+        graph,
+        protocol=built,
+        replicas=point.trials,
+        seed=point.seed,
+        max_steps=point.max_steps,
+        record_trajectories=built.record_trajectories,
+        **_init_kwargs(point, graph),
+    )
+    payload = built.summarize(res)
+    if isinstance(payload, EnsembleResult):
+        return ConsensusEnsemble.from_ensemble_result(payload)
+    return payload
 
 
 def execute_point_tracked(point: Point):

@@ -127,7 +127,11 @@ class ProtocolSpec:
 
     ``eta`` / ``zealots`` are only meaningful (and only allowed) for
     their respective kinds, so a point cannot silently carry a parameter
-    its dynamics would ignore.
+    its dynamics would ignore.  Every kind takes a general ``k`` (the
+    historical k=3-only restriction on the noisy/zealot runners is
+    gone); :meth:`build` turns the spec into the
+    :class:`repro.core.protocols.Protocol` object the ensemble engine
+    executes.
     """
 
     kind: str = "best_of_k"
@@ -173,6 +177,39 @@ class ProtocolSpec:
     @classmethod
     def with_zealots(cls, zealots: int, *, k: int = 3) -> "ProtocolSpec":
         return cls(kind="zealot_best_of_k", k=k, zealots=int(zealots))
+
+    def build(self):
+        """The executable :class:`repro.core.protocols.Protocol` of this spec.
+
+        ``async_vs_sync`` builds a *paired* mapping of protocols —
+        ``{"sync": BestOfK, "async": AsyncSweepBestOfK}`` — which the
+        runner executes from shared initial configurations.  This is the
+        single point where declarative protocol data meets code: the
+        runner holds no per-kind executors (DESIGN.md §2.6).
+        """
+        from repro.core.dynamics import TieRule
+        from repro.core.protocols import (
+            AsyncSweepBestOfK,
+            BestOfK,
+            NoisyBestOfK,
+            ZealotBestOfK,
+        )
+
+        tie = TieRule(self.tie_rule)
+        if self.kind == "best_of_k":
+            return BestOfK(self.k, tie_rule=tie)
+        if self.kind == "noisy_best_of_k":
+            return NoisyBestOfK(self.eta, k=self.k, tie_rule=tie)
+        if self.kind == "zealot_best_of_k":
+            return ZealotBestOfK(self.zealots, k=self.k, tie_rule=tie)
+        if self.kind == "async_vs_sync":
+            return {
+                "sync": BestOfK(self.k, tie_rule=tie),
+                "async": AsyncSweepBestOfK(self.k),
+            }
+        raise ValueError(  # pragma: no cover - __post_init__ validates
+            f"unknown protocol kind {self.kind!r}"
+        )
 
 
 ADVERSARIAL_STRATEGIES = ("high_degree", "low_degree", "block", "cluster")
