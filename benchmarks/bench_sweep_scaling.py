@@ -12,7 +12,13 @@ experiments E1/E2/E8/E9/E11/E12/E13/E14/E15 — the same points
 3. **cold global pool** — the same jobs, all specs interleaved through
    one shared pool (``run_sweeps`` — what ``repro report`` now does);
 4. **warm re-run** — same specs against the global run's cache, which
-   must skip (almost) every point.
+   must skip (almost) every point;
+5. **fault_overhead** — the same cold grid through the durable spool
+   backend (``spool=...``, ``workers=jobs``: SQLite lease bookkeeping +
+   worker subprocesses) on a clean, fault-free run.  The ratio against
+   the in-process pool is the price of crash tolerance when nothing
+   crashes — CI guards it at ≤ 10% (plus absolute slack for worker
+   start-up on tiny quick grids).
 
 Writes ``BENCH_sweep_scaling.json``::
 
@@ -107,6 +113,26 @@ def measure(*, quick: bool = True, seed: int = 0, jobs: int | None = None) -> di
             specs, jobs=jobs, cache=global_cache, pool="global"
         )
 
+        # Fault-tolerance overhead: the identical cold grid through the
+        # durable spool (lease/heartbeat bookkeeping + `repro worker`
+        # subprocesses) with no faults injected.  One run_sweeps call so
+        # the cross-spec dedup matches the global-pool pass exactly.
+        from repro.sweeps import WorkQueue, run_sweeps
+
+        _build_host_cached.cache_clear()
+        spool_dir = Path(tmp) / "spool"
+        start = time.perf_counter()
+        run_sweeps(
+            specs,
+            jobs=jobs,
+            cache=SweepCache(Path(tmp) / "d"),
+            spool=spool_dir,
+            workers=jobs,
+        )
+        spool_s = time.perf_counter() - start
+        with WorkQueue(spool_dir) as queue:
+            spool_stats = queue.stats()
+
     return {
         "mode": "quick" if quick else "full",
         "experiments": [m.rsplit(".", 1)[1] for m in _SPEC_MODULES],
@@ -124,6 +150,14 @@ def measure(*, quick: bool = True, seed: int = 0, jobs: int | None = None) -> di
         "warm_hits": warm_hits,
         "warm_skip_fraction": round(warm_hits / warm_points, 4) if warm_points else 0.0,
         "warm_speedup": round(serial_s / warm_s, 1) if warm_s else None,
+        "spool_cold_s": round(spool_s, 3),
+        "fault_overhead_ratio": (
+            round(spool_s / global_s, 3) if global_s else None
+        ),
+        "fault_overhead_abs_s": round(spool_s - global_s, 3),
+        "spool_retries": spool_stats.retries,
+        "spool_requeues": spool_stats.requeues,
+        "spool_poisoned": spool_stats.poisoned,
     }
 
 
@@ -174,7 +208,10 @@ def main(argv: list[str] | None = None) -> int:
         f"global pool {results['cold_global_pool_s']}s "
         f"({results['global_vs_per_spec_speedup']}x vs per-spec), "
         f"warm {results['warm_s']}s "
-        f"(skipped {results['warm_skip_fraction']:.0%})"
+        f"(skipped {results['warm_skip_fraction']:.0%}), "
+        f"spool {results['spool_cold_s']}s "
+        f"({results['fault_overhead_ratio']}x pool, "
+        f"{results['spool_retries']} retries)"
     )
     return 0
 

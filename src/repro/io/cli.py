@@ -13,6 +13,14 @@ Subcommands
 ``sweep``
     Run an ad-hoc declarative grid — hosts × sizes × biases × protocols —
     through the sweep scheduler and print the per-point summaries.
+    ``--spool DIR`` routes the grid through the durable work queue
+    (``--workers N`` spawns that many ``repro worker`` subprocesses),
+    surviving worker death with lease/retry semantics; tables are
+    byte-identical to ``--jobs 1``.
+``worker``
+    Drain a spool directory: lease points, execute, write results into
+    the shared cache, repeat until every point is terminal.  Run any
+    number of these against one spool (from any machine sharing it).
 ``demo``
     The quickstart: one Best-of-Three run on a dense host with the
     Theorem 1 certificate.
@@ -117,7 +125,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the cache garbage collector and exit (no grid is run); "
         "bound the cache with --cache-max-mb",
     )
+    swp_p.add_argument(
+        "--spool",
+        metavar="DIR",
+        default=None,
+        help="run through the durable work queue spooled in DIR "
+        "(lease/retry semantics; survives worker death)",
+    )
+    swp_p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --spool: spawn N `repro worker` subprocesses to drain "
+        "the queue (default: 0, the coordinator drains it itself)",
+    )
+    swp_p.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="executions a point may consume before quarantine (default: 3)",
+    )
+    swp_p.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=300.0,
+        metavar="S",
+        help="spool lease duration in seconds; must exceed the slowest "
+        "single point (default: 300)",
+    )
+    swp_p.add_argument(
+        "--spool-stats",
+        metavar="PATH",
+        default=None,
+        help="with --spool: write the queue's retry/requeue snapshot "
+        "as JSON after the run",
+    )
     _add_sweep_controls(swp_p)
+
+    wrk_p = sub.add_parser(
+        "worker", help="drain a sweep spool directory (lease, execute, cache)"
+    )
+    wrk_p.add_argument("--spool", metavar="DIR", required=True)
+    wrk_p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="shared sweep cache the results land in "
+        "(default: ~/.cache/repro-sweeps)",
+    )
+    wrk_p.add_argument("--worker-id", default=None)
+    wrk_p.add_argument("--lease-ttl", type=float, default=300.0, metavar="S")
+    wrk_p.add_argument(
+        "--poll",
+        type=float,
+        default=0.1,
+        metavar="S",
+        help="idle wait between lease attempts while others hold work",
+    )
 
     demo_p = sub.add_parser("demo", help="one Best-of-Three run, end to end")
     demo_p.add_argument("--n", type=int, default=100_000)
@@ -226,6 +290,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.io.results import ensemble_to_dict
     from repro.sweeps import (
         InitSpec,
+        SweepError,
         SweepSpec,
         canonical_point,
         point_key,
@@ -266,7 +331,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             max_steps=args.max_steps,
             seed=args.seed,
         )
-        outcome = run_sweep(spec, jobs=args.jobs, cache=cache)
+        # strict=False: a permanently failed point becomes a dashed table
+        # row + exit code 1 here, instead of a traceback that hides how
+        # much of the grid *did* complete (and is cached).
+        outcome = run_sweep(
+            spec,
+            jobs=args.jobs,
+            cache=cache,
+            spool=args.spool,
+            workers=args.workers,
+            strict=False,
+            max_attempts=args.max_attempts,
+            lease_ttl_s=args.lease_ttl,
+        )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -290,15 +367,46 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "median T": ens.median_steps,
             "max T": ens.max_steps,
         }
+        if not isinstance(ens, SweepError)
+        else {
+            "point": point.label,
+            "trials": "failed",
+            "converged": "—",
+            "red wins": "—",
+            "mean T": "—",
+            "median T": "—",
+            "max T": "—",
+        }
         for point, ens in outcome
     ]
     print(format_table(columns, rows))
     st = outcome.stats
     where = str(cache.root) if cache is not None else "off"
+    backend = f"spool={args.spool} workers={args.workers}" if args.spool else f"jobs={st.jobs}"
+    fault_bits = ""
+    if st.retries or st.requeues or st.failures:
+        fault_bits = (
+            f"; {st.retries} retrie(s), {st.requeues} requeue(s), "
+            f"{st.failures} failure(s)"
+        )
     print(
         f"\n{st.points} point(s): {st.hits} cached, {st.misses} computed "
-        f"in {st.elapsed_s:.2f}s with jobs={st.jobs} (cache: {where})"
+        f"in {st.elapsed_s:.2f}s with {backend} (cache: {where}){fault_bits}"
     )
+    for err in outcome.errors:
+        print(f"failed: {err}", file=sys.stderr)
+    if args.spool and args.spool_stats:
+        from repro.sweeps import WorkQueue
+
+        queue = WorkQueue(args.spool)
+        try:
+            snapshot = queue.snapshot()
+        finally:
+            queue.close()
+        with open(args.spool_stats, "w", encoding="utf-8") as fh:
+            json.dump(snapshot, fh, indent=2)
+            fh.write("\n")
+        print(f"spool stats written to {args.spool_stats}")
 
     if args.save:
         archive = {
@@ -313,12 +421,31 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     "payload": ensemble_to_dict(ens),
                 }
                 for point, ens in outcome
+                if not isinstance(ens, SweepError)
             ],
         }
         with open(args.save, "w", encoding="utf-8") as fh:
             json.dump(archive, fh, indent=2)
             fh.write("\n")
-        print(f"archived {len(spec)} point(s) to {args.save}")
+        print(f"archived {len(archive['points'])} point(s) to {args.save}")
+    return 1 if outcome.errors else 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.sweeps import SweepCache, run_worker
+
+    cache = SweepCache(args.cache_dir)
+    summary = run_worker(
+        args.spool,
+        cache,
+        worker_id=args.worker_id,
+        lease_ttl_s=args.lease_ttl,
+        poll_s=args.poll,
+    )
+    print(
+        f"worker {summary['worker_id']}: executed {summary['executed']} "
+        f"point(s), failed {summary['failed']} (spool {args.spool})"
+    )
     return 0
 
 
@@ -348,6 +475,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_report(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "demo":
         return _cmd_demo(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

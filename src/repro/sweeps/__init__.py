@@ -15,6 +15,13 @@ The three layers (DESIGN.md §2.4):
   collector (``max_mb`` / :meth:`SweepCache.gc`) to keep warm caches
   bounded.
 
+Plus the fault-tolerance layer (DESIGN.md §2.7): :mod:`repro.sweeps
+.queue` — :class:`WorkQueue`, the durable SQLite spool with
+lease/retry/backoff semantics behind ``run_sweeps(spool=...)`` and the
+``repro sweep --workers N --spool DIR`` / ``repro worker`` CLI pair —
+and :mod:`repro.sweeps.faults`, the injection harness the recovery
+tests drive (armed only via the ``REPRO_FAULTS`` environment variable).
+
 Quickstart::
 
     from repro.sweeps import (
@@ -50,7 +57,9 @@ from repro.sweeps.runner import (
     host_families,
     point_streams,
 )
+from repro.sweeps.queue import Lease, QueueStats, WorkQueue, queue_key
 from repro.sweeps.scheduler import (
+    SweepError,
     SweepOutcome,
     SweepStats,
     add_sweep_arguments,
@@ -58,6 +67,7 @@ from repro.sweeps.scheduler import (
     ensure_outcome,
     run_sweep,
     run_sweeps,
+    run_worker,
 )
 from repro.sweeps.spec import (
     ADVERSARIAL_STRATEGIES,
@@ -71,6 +81,7 @@ from repro.sweeps.spec import (
     derive_point_seed,
     estimated_cost,
     host_vertex_count,
+    point_from_canonical,
 )
 
 __all__ = [
@@ -97,10 +108,17 @@ __all__ = [
     "host_access_counts",
     "host_families",
     "point_streams",
+    "point_from_canonical",
+    "Lease",
+    "QueueStats",
+    "WorkQueue",
+    "queue_key",
+    "SweepError",
     "SweepOutcome",
     "SweepStats",
     "run_sweep",
     "run_sweeps",
+    "run_worker",
     "ensure_outcome",
     "add_sweep_arguments",
     "cache_from_args",

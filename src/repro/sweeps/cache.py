@@ -209,12 +209,30 @@ class SweepCache:
         }
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
+            # Crash consistency: flush + fsync the temp file *before* the
+            # atomic rename, so a process killed (or a machine losing
+            # power) at any instant leaves either the old entry or the
+            # complete new one — never a torn file under the entry name.
+            # Stray ``.*.tmp`` files are invisible to get()/gc() (their
+            # names never match an entry key) and get overwritten by the
+            # next put from the same pid.
             tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-            tmp.write_text(
-                json.dumps(entry, sort_keys=True, indent=1) + "\n",
-                encoding="utf-8",
-            )
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(entry, sort_keys=True, indent=1) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
+            # Make the rename itself durable (best-effort: not every
+            # filesystem lets you fsync a directory).
+            try:
+                dir_fd = os.open(path.parent, os.O_RDONLY)
+            except OSError:
+                pass
+            else:
+                try:
+                    os.fsync(dir_fd)
+                finally:
+                    os.close(dir_fd)
         except OSError as exc:
             if not self._write_warned:
                 self._write_warned = True

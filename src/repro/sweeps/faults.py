@@ -1,0 +1,138 @@
+"""Fault injection for the sweep execution path (tests and CI only).
+
+Nothing here runs unless the ``REPRO_FAULTS`` environment variable names
+a JSON *fault plan* — the one hook in production code is a single
+``os.environ.get`` at the top of
+:func:`~repro.sweeps.runner.execute_point`.  Driving injection through
+the environment is what lets faults reach every execution context the
+scheduler owns: inline points, pool worker processes, and ``repro
+worker`` subprocesses all inherit the variable.
+
+A plan file looks like::
+
+    {"kill": {"<point label or queue key>": 2},
+     "sleep": {"<point label or queue key>": 0.5}}
+
+``kill`` SIGKILLs the executing process the first N times the named
+point *starts* executing — attempt N+1 survives, which is exactly the
+shape the recovery proofs need ("killed worker ⇒ point re-queued,
+completes on retry").  Attempts are counted across processes with
+``O_CREAT | O_EXCL`` marker files next to the plan, the portable
+filesystem atomic.  ``sleep`` delays a point's execution (to hold a
+lease past its TTL on a schedule).
+
+:func:`arm` writes a plan and returns the environment mapping to run
+under; :func:`tear_file` truncates an on-disk file to a prefix — the
+torn-write corruption the crash-consistency tests feed to
+:class:`~repro.sweeps.cache.SweepCache`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from pathlib import Path
+from typing import Mapping
+
+from repro.sweeps.spec import Point
+
+__all__ = ["ENV_VAR", "arm", "maybe_inject", "tear_file"]
+
+ENV_VAR = "REPRO_FAULTS"
+
+
+def arm(
+    directory: str | Path,
+    *,
+    kill: Mapping[str, int] | None = None,
+    sleep: Mapping[str, float] | None = None,
+) -> dict[str, str]:
+    """Write a fault plan under *directory*; returns the env to set.
+
+    Use with ``monkeypatch.setenv`` / ``subprocess(env=...)``::
+
+        env = faults.arm(tmp_path, kill={point.label: 1})
+        monkeypatch.setenv(faults.ENV_VAR, env[faults.ENV_VAR])
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    plan_path = directory / "fault_plan.json"
+    plan = {
+        "kill": {str(k): int(v) for k, v in (kill or {}).items()},
+        "sleep": {str(k): float(v) for k, v in (sleep or {}).items()},
+    }
+    plan_path.write_text(json.dumps(plan, indent=1) + "\n", encoding="utf-8")
+    return {ENV_VAR: str(plan_path)}
+
+
+def _claim_attempt(plan_path: Path, ident: str) -> int:
+    """This execution's 1-based attempt number for *ident*.
+
+    Marker files are created with ``O_EXCL`` so concurrent processes
+    (two pool workers racing on a re-queued point) each claim a distinct
+    number — the count is exact, not best-effort.
+    """
+    import hashlib
+
+    digest = hashlib.sha256(ident.encode("utf-8")).hexdigest()[:16]
+    for attempt in range(1, 10_000):
+        marker = plan_path.with_name(f".fault-{digest}-{attempt}")
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue
+        os.close(fd)
+        return attempt
+    raise RuntimeError(f"fault attempt counter overflow for {ident!r}")
+
+
+def _match(table: Mapping[str, object], point: Point):
+    """The plan entry for *point*, matched by label then by queue key."""
+    if point.label and point.label in table:
+        return point.label, table[point.label]
+    from repro.sweeps.queue import queue_key
+
+    key = queue_key(point)
+    if key in table:
+        return key, table[key]
+    return None, None
+
+
+def maybe_inject(point: Point) -> None:
+    """Apply any armed fault to *point* (no-op unless armed).
+
+    Called at the top of ``execute_point`` in every execution context.
+    SIGKILL (not an exception) is deliberate: it models a worker dying
+    with no chance to clean up, the hardest failure the scheduler must
+    absorb.
+    """
+    plan_env = os.environ.get(ENV_VAR)
+    if not plan_env:
+        return
+    plan_path = Path(plan_env)
+    try:
+        plan = json.loads(plan_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return
+    ident, delay = _match(plan.get("sleep", {}), point)
+    if delay:
+        time.sleep(float(delay))
+    ident, times = _match(plan.get("kill", {}), point)
+    if times:
+        attempt = _claim_attempt(plan_path, f"kill:{ident}")
+        if attempt <= int(times):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+def tear_file(path: str | Path, *, keep_fraction: float = 0.5) -> Path:
+    """Truncate *path* to a prefix of itself — a simulated torn write.
+
+    What a non-atomic writer would leave behind when killed mid-write;
+    the cache must detect the damage and recompute, never trust it.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    path.write_bytes(data[: max(1, int(len(data) * keep_fraction))])
+    return path

@@ -1,0 +1,520 @@
+"""Durable sweep work queue: a SQLite spool with lease/retry semantics.
+
+The scheduler's process pool shares an address space with its workers —
+a killed worker loses whatever it was holding.  :class:`WorkQueue` is
+the durable alternative (DESIGN.md §2.7): every pending point lives as
+one row in ``<spool>/queue.sqlite``, workers in *any* process (or on any
+machine sharing the spool directory) claim work through time-limited
+**leases**, and every state transition is one SQLite write transaction,
+so the queue's answer to "who owns this point?" is always exactly one
+worker — or nobody.
+
+Life cycle of a point::
+
+    pending --lease()--> leased --complete()--> done
+       ^                   |
+       |                   +--fail()-----------> pending (backoff) or poisoned
+       +--requeue_expired()/release_worker()--- leased (dead worker)
+
+* :meth:`WorkQueue.enqueue` inserts points as canonical JSON
+  (:func:`~repro.sweeps.spec.canonical_point` — no pickles cross the
+  boundary) keyed by their content hash; re-enqueueing a terminal point
+  resets it, so a fresh coordinator that *wants* a point recomputed
+  (its cache entry vanished, or it was quarantined by a previous run)
+  gets it recomputed.
+* :meth:`WorkQueue.lease` atomically claims the most expensive eligible
+  point (the scheduler's largest-first order) for ``ttl_s`` seconds and
+  increments its attempt count.  Two workers can never both hold a
+  lease: the claim is a single ``BEGIN IMMEDIATE`` transaction.
+* :meth:`WorkQueue.complete` only succeeds for the *current* lease
+  holder — a worker whose lease expired and was handed to someone else
+  gets ``False`` back, so a point is never completed twice.
+* :meth:`WorkQueue.fail` re-queues with exponential backoff
+  (``backoff_base_s · 2^(attempts-1)``, capped) until ``max_attempts``,
+  after which the point is quarantined as **poisoned** with its error
+  recorded — one bad point can delay a grid, never wedge it.
+* :meth:`WorkQueue.requeue_expired` returns timed-out leases to the
+  pending state (or poisons them at the attempt limit: a point whose
+  worker dies every time is indistinguishable from one that fails every
+  time).  Every worker calls it each loop, so the fleet self-heals with
+  no coordinator.
+
+Queue configuration (attempt limit, backoff) is written into the spool
+by whoever creates it and read back by everyone else, so workers joining
+late agree with the coordinator.  Results never travel through the
+queue: a worker writes its payload to the shared content-addressed
+:class:`~repro.sweeps.cache.SweepCache` *before* marking the point done,
+which is what makes ``done`` mean "the result is durably on disk".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.sweeps.spec import (
+    Point,
+    canonical_json,
+    canonical_point,
+    estimated_cost,
+    point_from_canonical,
+)
+
+__all__ = [
+    "POINT_STATES",
+    "Lease",
+    "QueueStats",
+    "WorkQueue",
+    "queue_key",
+]
+
+POINT_STATES = ("pending", "leased", "done", "poisoned")
+
+DB_NAME = "queue.sqlite"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS points (
+    key TEXT PRIMARY KEY,
+    content TEXT NOT NULL,
+    label TEXT NOT NULL DEFAULT '',
+    cost INTEGER NOT NULL DEFAULT 0,
+    state TEXT NOT NULL DEFAULT 'pending',
+    attempts INTEGER NOT NULL DEFAULT 0,
+    worker TEXT,
+    lease_expires REAL,
+    not_before REAL NOT NULL DEFAULT 0,
+    error TEXT,
+    enqueued_at REAL NOT NULL,
+    completed_at REAL
+);
+CREATE INDEX IF NOT EXISTS idx_points_state ON points (state, not_before);
+CREATE TABLE IF NOT EXISTS counters (
+    name TEXT PRIMARY KEY,
+    value INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS config (
+    name TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+
+def queue_key(point: Point) -> str:
+    """Content address of *point* in the queue (label excluded).
+
+    Deliberately *not* :func:`~repro.sweeps.cache.point_key`: the queue
+    names the simulation being asked for, while the cache names the
+    simulation under one exact code line — a spool must survive a
+    coordinator restart, not a code edit.
+    """
+    body = canonical_json(canonical_point(point))
+    return hashlib.sha256(body.encode("ascii")).hexdigest()
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One successful :meth:`WorkQueue.lease` claim."""
+
+    key: str
+    point: Point
+    attempt: int
+    expires_at: float
+    worker_id: str
+
+
+@dataclass(frozen=True)
+class QueueStats:
+    """Aggregate accounting of one spool.
+
+    ``retries`` counts executions beyond each point's first (the sum of
+    ``attempts - 1``); ``requeues`` counts leases reclaimed from dead or
+    timed-out workers (expiry and explicit worker release — *not*
+    ordinary :meth:`~WorkQueue.fail` backoff re-queues, which are
+    already visible as retries).
+    """
+
+    total: int
+    pending: int
+    leased: int
+    done: int
+    poisoned: int
+    retries: int
+    requeues: int
+
+    @property
+    def unfinished(self) -> int:
+        return self.pending + self.leased
+
+
+class WorkQueue:
+    """The durable point queue rooted at ``<spool>/queue.sqlite``.
+
+    ``max_attempts``/``backoff_base_s``/``backoff_cap_s`` configure a
+    *new* spool; opening an existing one adopts its stored settings so
+    every process sharing the directory plays by the same rules.
+    """
+
+    def __init__(
+        self,
+        spool: str | Path,
+        *,
+        max_attempts: int = 3,
+        backoff_base_s: float = 0.25,
+        backoff_cap_s: float = 30.0,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.spool = Path(spool)
+        self.spool.mkdir(parents=True, exist_ok=True)
+        self.path = self.spool / DB_NAME
+        self._conn = sqlite3.connect(self.path, timeout=60.0, isolation_level=None)
+        self._conn.executescript(_SCHEMA)
+        # WAL keeps readers (polling coordinators) off the writers' lock.
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        with self._tx() as conn:
+            stored = dict(conn.execute("SELECT name, value FROM config"))
+            if stored:
+                max_attempts = int(stored["max_attempts"])
+                backoff_base_s = float(stored["backoff_base_s"])
+                backoff_cap_s = float(stored["backoff_cap_s"])
+            else:
+                conn.executemany(
+                    "INSERT INTO config (name, value) VALUES (?, ?)",
+                    [
+                        ("max_attempts", str(max_attempts)),
+                        ("backoff_base_s", repr(backoff_base_s)),
+                        ("backoff_cap_s", repr(backoff_cap_s)),
+                    ],
+                )
+        self.max_attempts = max_attempts
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WorkQueue({str(self.spool)!r})"
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "WorkQueue":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @contextmanager
+    def _tx(self) -> Iterator[sqlite3.Connection]:
+        """One serialised write transaction (the atomicity unit)."""
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            yield self._conn
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        else:
+            self._conn.execute("COMMIT")
+
+    def _backoff(self, attempts: int) -> float:
+        return min(self.backoff_cap_s, self.backoff_base_s * 2 ** (attempts - 1))
+
+    def _bump(self, conn: sqlite3.Connection, counter: str, by: int = 1) -> None:
+        conn.execute(
+            "INSERT INTO counters (name, value) VALUES (?, ?) "
+            "ON CONFLICT(name) DO UPDATE SET value = value + excluded.value",
+            (counter, by),
+        )
+
+    # -- producer side ------------------------------------------------
+
+    def enqueue(self, points: Iterable[Point]) -> int:
+        """Add *points*; returns how many rows are newly runnable.
+
+        Already-pending/leased duplicates are left untouched (two
+        coordinators can safely spool the same grid); a point in a
+        *terminal* state is reset to pending — the caller asking for it
+        again means its previous outcome is no longer usable (evicted
+        cache entry, or a quarantine the new run wants to retry).
+        """
+        now = time.time()
+        added = 0
+        with self._tx() as conn:
+            for point in points:
+                key = queue_key(point)
+                cur = conn.execute(
+                    "INSERT OR IGNORE INTO points "
+                    "(key, content, label, cost, state, enqueued_at) "
+                    "VALUES (?, ?, ?, ?, 'pending', ?)",
+                    (
+                        key,
+                        canonical_json(canonical_point(point)),
+                        point.label,
+                        int(estimated_cost(point)),
+                        now,
+                    ),
+                )
+                if cur.rowcount:
+                    added += 1
+                    continue
+                cur = conn.execute(
+                    "UPDATE points SET state = 'pending', attempts = 0, "
+                    "worker = NULL, lease_expires = NULL, not_before = 0, "
+                    "error = NULL, completed_at = NULL, enqueued_at = ? "
+                    "WHERE key = ? AND state IN ('done', 'poisoned')",
+                    (now, key),
+                )
+                added += cur.rowcount
+        return added
+
+    # -- worker side --------------------------------------------------
+
+    def lease(self, worker_id: str, *, ttl_s: float) -> Lease | None:
+        """Claim the most expensive eligible point for ``ttl_s`` seconds.
+
+        Returns ``None`` when nothing is currently leasable (the queue
+        may still hold leased points or backoff-delayed retries — check
+        :meth:`stats`).  The claim increments the point's attempt count:
+        an attempt is charged when work *starts*, so a worker that dies
+        mid-point still consumed one.
+        """
+        now = time.time()
+        with self._tx() as conn:
+            row = conn.execute(
+                "SELECT key, content, label, attempts FROM points "
+                "WHERE state = 'pending' AND not_before <= ? "
+                "ORDER BY cost DESC, key LIMIT 1",
+                (now,),
+            ).fetchone()
+            if row is None:
+                return None
+            key, content, label, attempts = row
+            expires = now + ttl_s
+            conn.execute(
+                "UPDATE points SET state = 'leased', worker = ?, "
+                "lease_expires = ?, attempts = ? WHERE key = ?",
+                (worker_id, expires, attempts + 1, key),
+            )
+        return Lease(
+            key=key,
+            point=point_from_canonical(json.loads(content), label=label),
+            attempt=attempts + 1,
+            expires_at=expires,
+            worker_id=worker_id,
+        )
+
+    def extend(self, key: str, worker_id: str, *, ttl_s: float) -> bool:
+        """Heartbeat: push the lease deadline out (holder only)."""
+        with self._tx() as conn:
+            cur = conn.execute(
+                "UPDATE points SET lease_expires = ? "
+                "WHERE key = ? AND state = 'leased' AND worker = ?",
+                (time.time() + ttl_s, key, worker_id),
+            )
+            return bool(cur.rowcount)
+
+    def complete(self, key: str, worker_id: str) -> bool:
+        """Mark *key* done — only honoured for the current lease holder.
+
+        A stale worker (its lease expired and the point moved on)
+        gets ``False``: whatever it computed is a duplicate of work now
+        owned elsewhere, and the queue keeps a single completion.
+        """
+        with self._tx() as conn:
+            cur = conn.execute(
+                "UPDATE points SET state = 'done', worker = NULL, "
+                "lease_expires = NULL, error = NULL, completed_at = ? "
+                "WHERE key = ? AND state = 'leased' AND worker = ?",
+                (time.time(), key, worker_id),
+            )
+            return bool(cur.rowcount)
+
+    def fail(self, key: str, worker_id: str, error: str) -> str:
+        """Record a failed attempt; returns the point's new state.
+
+        Below the attempt limit the point returns to pending with
+        exponential backoff; at the limit it is quarantined as
+        ``poisoned`` with *error* preserved for the post-mortem.
+        """
+        now = time.time()
+        with self._tx() as conn:
+            row = conn.execute(
+                "SELECT attempts FROM points "
+                "WHERE key = ? AND state = 'leased' AND worker = ?",
+                (key, worker_id),
+            ).fetchone()
+            if row is None:
+                return "stale"
+            (attempts,) = row
+            if attempts >= self.max_attempts:
+                conn.execute(
+                    "UPDATE points SET state = 'poisoned', worker = NULL, "
+                    "lease_expires = NULL, error = ? WHERE key = ?",
+                    (f"after {attempts} attempt(s): {error}", key),
+                )
+                return "poisoned"
+            conn.execute(
+                "UPDATE points SET state = 'pending', worker = NULL, "
+                "lease_expires = NULL, not_before = ?, error = ? "
+                "WHERE key = ?",
+                (now + self._backoff(attempts), error, key),
+            )
+            return "pending"
+
+    def release(self, key: str, worker_id: str) -> bool:
+        """Hand a lease back unexecuted (interrupted worker, no blame).
+
+        The consumed attempt is refunded — an operator's Ctrl-C must not
+        walk a healthy point toward quarantine.
+        """
+        with self._tx() as conn:
+            cur = conn.execute(
+                "UPDATE points SET state = 'pending', worker = NULL, "
+                "lease_expires = NULL, not_before = 0, "
+                "attempts = MAX(attempts - 1, 0) "
+                "WHERE key = ? AND state = 'leased' AND worker = ?",
+                (key, worker_id),
+            )
+            return bool(cur.rowcount)
+
+    # -- failure recovery ---------------------------------------------
+
+    def _reclaim(self, conn: sqlite3.Connection, rows) -> int:
+        """Re-queue (or quarantine) reclaimed leases; counts requeues."""
+        reclaimed = 0
+        for key, attempts in rows:
+            if attempts >= self.max_attempts:
+                conn.execute(
+                    "UPDATE points SET state = 'poisoned', worker = NULL, "
+                    "lease_expires = NULL, error = ? WHERE key = ?",
+                    (
+                        f"after {attempts} attempt(s): worker died or lease "
+                        "timed out on every attempt",
+                        key,
+                    ),
+                )
+            else:
+                # Immediately leasable: the TTL already was the backoff.
+                conn.execute(
+                    "UPDATE points SET state = 'pending', worker = NULL, "
+                    "lease_expires = NULL, not_before = 0 WHERE key = ?",
+                    (key,),
+                )
+            reclaimed += 1
+        if reclaimed:
+            self._bump(conn, "requeues", reclaimed)
+        return reclaimed
+
+    def requeue_expired(self, *, now: float | None = None) -> int:
+        """Return timed-out leases to the queue; returns how many.
+
+        The "killed worker ⇒ point re-queued, never lost" guarantee:
+        a lease whose holder stopped heartbeating is reclaimed by
+        whoever calls this next (every worker does, each loop).  Points
+        at the attempt limit are quarantined instead — a worker-killer
+        must not circulate forever.
+        """
+        now = time.time() if now is None else now
+        with self._tx() as conn:
+            rows = conn.execute(
+                "SELECT key, attempts FROM points "
+                "WHERE state = 'leased' AND lease_expires < ?",
+                (now,),
+            ).fetchall()
+            return self._reclaim(conn, rows)
+
+    def release_worker(self, worker_id: str) -> int:
+        """Re-queue every lease held by *worker_id* (it is known dead).
+
+        The coordinator calls this the moment it reaps a dead worker
+        process — faster than waiting out the TTL.
+        """
+        with self._tx() as conn:
+            rows = conn.execute(
+                "SELECT key, attempts FROM points "
+                "WHERE state = 'leased' AND worker = ?",
+                (worker_id,),
+            ).fetchall()
+            return self._reclaim(conn, rows)
+
+    # -- introspection ------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        """Row count per state (absent states included as 0)."""
+        out = dict.fromkeys(POINT_STATES, 0)
+        for state, n in self._conn.execute(
+            "SELECT state, COUNT(*) FROM points GROUP BY state"
+        ):
+            out[state] = n
+        return out
+
+    def unfinished(self) -> int:
+        """Points not yet in a terminal state (pending + leased)."""
+        (n,) = self._conn.execute(
+            "SELECT COUNT(*) FROM points WHERE state IN ('pending', 'leased')"
+        ).fetchone()
+        return n
+
+    def states(self) -> dict[str, tuple[str, str | None, int]]:
+        """``key -> (state, error, attempts)`` for every row."""
+        return {
+            key: (state, error, attempts)
+            for key, state, error, attempts in self._conn.execute(
+                "SELECT key, state, error, attempts FROM points"
+            )
+        }
+
+    def stats(self) -> QueueStats:
+        counts = self.counts()
+        (retries,) = self._conn.execute(
+            "SELECT COALESCE(SUM(MAX(attempts - 1, 0)), 0) FROM points"
+        ).fetchone()
+        row = self._conn.execute(
+            "SELECT value FROM counters WHERE name = 'requeues'"
+        ).fetchone()
+        return QueueStats(
+            total=sum(counts.values()),
+            pending=counts["pending"],
+            leased=counts["leased"],
+            done=counts["done"],
+            poisoned=counts["poisoned"],
+            retries=int(retries),
+            requeues=int(row[0]) if row else 0,
+        )
+
+    def poisoned_entries(self) -> list[tuple[str, str, int, str]]:
+        """``(key, label, attempts, error)`` for quarantined points."""
+        return [
+            (key, label, attempts, error or "")
+            for key, label, attempts, error in self._conn.execute(
+                "SELECT key, label, attempts, error FROM points "
+                "WHERE state = 'poisoned' ORDER BY key"
+            )
+        ]
+
+    def snapshot(self) -> dict:
+        """JSON-able spool summary (CI uploads this as an artifact)."""
+        st = self.stats()
+        return {
+            "schema": "repro.sweep_spool/1",
+            "spool": str(self.spool),
+            "max_attempts": self.max_attempts,
+            "backoff_base_s": self.backoff_base_s,
+            "backoff_cap_s": self.backoff_cap_s,
+            "total": st.total,
+            "pending": st.pending,
+            "leased": st.leased,
+            "done": st.done,
+            "poisoned": st.poisoned,
+            "retries": st.retries,
+            "requeues": st.requeues,
+            "poisoned_points": [
+                {"key": key, "label": label, "attempts": attempts, "error": error}
+                for key, label, attempts, error in self.poisoned_entries()
+            ],
+        }

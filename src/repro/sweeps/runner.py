@@ -256,6 +256,9 @@ def execute_point(point: Point) -> "ConsensusEnsemble | dict":
     verbatim to the engine as the root entropy — unchanged from the
     pre-Protocol runner, so their experiment tables are bit-identical.
     """
+    from repro.sweeps import faults
+
+    faults.maybe_inject(point)  # no-op unless REPRO_FAULTS is armed
     graph = build_host(point.host)
     built = point.protocol.build()
     if isinstance(built, Mapping):

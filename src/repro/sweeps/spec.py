@@ -45,6 +45,7 @@ __all__ = [
     "SweepSpec",
     "canonical_point",
     "canonical_json",
+    "point_from_canonical",
     "derive_point_seed",
     "host_vertex_count",
     "estimated_cost",
@@ -348,6 +349,43 @@ def canonical_point(point: Point) -> dict[str, Any]:
     if point.spawn_base:
         content["spawn_base"] = point.spawn_base
     return content
+
+
+def point_from_canonical(
+    content: Mapping[str, Any], *, label: str = ""
+) -> Point:
+    """Rebuild a :class:`Point` from its :func:`canonical_point` form.
+
+    The inverse that lets a point cross a durable boundary (the sweep
+    work queue, a remote worker) as plain JSON instead of a pickle:
+    ``point_from_canonical(canonical_point(p))`` canonicalises back to
+    exactly the same bytes, so the round trip preserves cache keys and
+    derived seeds.  *label* is presentation-only and travels separately
+    (it is excluded from the canonical form by design).
+    """
+    proto = content["protocol"]
+    init = content["init"]
+    return Point(
+        host=HostSpec.of(content["host"]["family"], **content["host"]["params"]),
+        protocol=ProtocolSpec(
+            kind=proto["kind"],
+            k=proto["k"],
+            tie_rule=proto["tie_rule"],
+            eta=proto.get("eta"),
+            zealots=proto.get("zealots"),
+        ),
+        init=InitSpec(
+            kind=init["kind"],
+            delta=init.get("delta"),
+            blue=init.get("blue"),
+            strategy=init.get("strategy"),
+        ),
+        trials=int(content["trials"]),
+        max_steps=int(content["max_steps"]),
+        seed=tuple(content["seed"]),
+        label=label,
+        spawn_base=int(content.get("spawn_base", 0)),
+    )
 
 
 def canonical_json(payload: Mapping[str, Any]) -> str:

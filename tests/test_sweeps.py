@@ -22,6 +22,7 @@ from repro.sweeps import (
     Point,
     ProtocolSpec,
     SweepCache,
+    SweepError,
     SweepSpec,
     canonical_point,
     derive_point_seed,
@@ -213,13 +214,36 @@ class TestScheduler:
         with pytest.raises(ValueError, match="jobs"):
             run_sweep(_spec(), jobs=0)
 
-    def test_worker_failure_propagates_cleanly(self, tmp_path):
+    def test_worker_failure_surfaces_after_completing_rest(self, tmp_path):
+        # A failing point no longer destroys the sweep: every other
+        # point completes and is cached FIRST, then strict mode raises
+        # one SweepError naming the casualty (with the original cause).
+        bad = dataclasses.replace(
+            _point(), host=HostSpec.of("erdos_renyi", n=64, p=0.2)  # seedless
+        )
+        good = _spec().points
+        spec = SweepSpec("s", (*good, bad))
+        cache = SweepCache(tmp_path)
+        with pytest.raises(SweepError, match="explicit seed") as err:
+            run_sweep(spec, jobs=2, cache=cache)
+        assert len(err.value.failures) == 1
+        assert err.value.failures[0].point == bad
+        for point in good:  # the survivors were computed and cached
+            assert cache.get(point) is not None
+
+    def test_worker_failure_nonstrict_gives_error_slots(self, tmp_path):
         bad = dataclasses.replace(
             _point(), host=HostSpec.of("erdos_renyi", n=64, p=0.2)  # seedless
         )
         spec = SweepSpec("s", (*_spec().points, bad))
-        with pytest.raises(ValueError, match="explicit seed"):
-            run_sweep(spec, jobs=2, cache=SweepCache(tmp_path))
+        outcome = run_sweep(
+            spec, jobs=2, cache=SweepCache(tmp_path), strict=False
+        )
+        assert isinstance(outcome.ensembles[-1], SweepError)
+        assert outcome.stats.failures == 1
+        assert len(outcome.errors) == 1
+        for ens in outcome.ensembles[:-1]:
+            assert not isinstance(ens, SweepError)
 
     def test_exact_count_init_runs(self):
         point = dataclasses.replace(_point(), init=InitSpec.count(100))
@@ -252,7 +276,14 @@ class TestCacheCorrectness:
 
     @pytest.mark.parametrize(
         "corruption",
-        ["truncate", "garbage", "payload_tamper", "wrong_schema", "wrong_key"],
+        [
+            "truncate",
+            "garbage",
+            "payload_tamper",
+            "wrong_schema",
+            "wrong_key",
+            "torn_write",
+        ],
     )
     def test_corrupted_entry_recomputed_not_trusted(self, tmp_path, corruption):
         point = _point()
@@ -277,6 +308,14 @@ class TestCacheCorrectness:
         elif corruption == "wrong_key":
             entry["key"] = "0" * 64
             path.write_text(json.dumps(entry))
+        elif corruption == "torn_write":
+            # A writer killed between the temp write and os.replace: the
+            # entry never lands, only a half-written ``.*.tmp`` remains.
+            # It must read as a plain miss and stay invisible to gc().
+            tmp = path.with_name(f".{path.name}.12345.tmp")
+            tmp.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 3])
+            path.unlink()
+            assert cache.size_bytes() == 0  # tmp not counted as an entry
 
         assert cache.get(point) is None  # corruption detected, not trusted
         again = run_sweep(spec, cache=cache)
@@ -432,13 +471,20 @@ class TestSweepCLI:
         assert "error:" in capsys.readouterr().err
 
     def test_sweep_rejects_bad_host_params_cleanly(self, capsys):
+        # Host params only the graph constructors check (edge
+        # probabilities) surface as per-point failures now: a dashed
+        # table row, the cause on stderr, and exit code 1 — not a
+        # traceback, and not a silent success.
         from repro.io.cli import main
 
         rc = main(
-            ["sweep", "--host", "erdos-renyi", "--er-p", "1.5", "--no-cache"]
+            ["sweep", "--host", "erdos-renyi", "--er-p", "1.5",
+             "--trials", "2", "--max-steps", "50", "--no-cache"]
         )
-        assert rc == 2
-        assert "error:" in capsys.readouterr().err
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "failed" in captured.out  # dashed row in the table
+        assert "probability" in captured.err
 
     def test_run_passes_jobs_through(self, capsys, tmp_path):
         from repro.io.cli import main
