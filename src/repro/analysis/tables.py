@@ -7,9 +7,30 @@ plain monospace text).
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
-__all__ = ["format_table", "format_value"]
+__all__ = [
+    "SWEEP_SUMMARY_COLUMNS",
+    "format_table",
+    "format_value",
+    "sweep_summary_rows",
+]
+
+SWEEP_SUMMARY_COLUMNS = (
+    "point",
+    "trials",
+    "converged",
+    "red wins",
+    "mean T",
+    "median T",
+    "max T",
+)
+"""Column order of the per-point sweep summary table.
+
+One definition shared by every surface that renders sweep outcomes —
+the ``repro sweep`` CLI, the service's job/compare tables — so their
+tables stay byte-identical for the same points.
+"""
 
 
 def format_value(value: Any, *, precision: int = 4) -> str:
@@ -72,3 +93,60 @@ def format_table(
         for r in rendered
     ]
     return "\n".join([header, sep, *body])
+
+
+def sweep_summary_rows(
+    pairs: Iterable[tuple[Any, Any]],
+) -> list[dict[str, Any]]:
+    """One :data:`SWEEP_SUMMARY_COLUMNS` row per ``(point, payload)`` pair.
+
+    The shared row shape behind every sweep table: a
+    :class:`~repro.analysis.experiments.ConsensusEnsemble` payload
+    renders its summary statistics; an extension-protocol dict payload
+    (noisy/zealot/paired runs carry per-trial arrays, not an ensemble
+    summary) renders its declared trial budget with dashes; anything
+    else — a :class:`~repro.sweeps.scheduler.SweepError` slot or a
+    missing payload — renders as a failed row.  Iterate a
+    :class:`~repro.sweeps.scheduler.SweepOutcome` directly as *pairs*.
+    """
+    from repro.analysis.experiments import ConsensusEnsemble
+
+    rows: list[dict[str, Any]] = []
+    for point, payload in pairs:
+        if isinstance(payload, ConsensusEnsemble):
+            rows.append(
+                {
+                    "point": point.label,
+                    "trials": payload.trials,
+                    "converged": payload.converged,
+                    "red wins": payload.red_wins,
+                    "mean T": payload.mean_steps,
+                    "median T": payload.median_steps,
+                    "max T": payload.max_steps,
+                }
+            )
+        elif isinstance(payload, Mapping):
+            rows.append(
+                {
+                    "point": point.label,
+                    "trials": point.trials,
+                    "converged": "—",
+                    "red wins": "—",
+                    "mean T": "—",
+                    "median T": "—",
+                    "max T": "—",
+                }
+            )
+        else:
+            rows.append(
+                {
+                    "point": point.label,
+                    "trials": "failed",
+                    "converged": "—",
+                    "red wins": "—",
+                    "mean T": "—",
+                    "median T": "—",
+                    "max T": "—",
+                }
+            )
+    return rows

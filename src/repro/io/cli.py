@@ -21,6 +21,12 @@ Subcommands
     Drain a spool directory: lease points, execute, write results into
     the shared cache, repeat until every point is terminal.  Run any
     number of these against one spool (from any machine sharing it).
+``serve``
+    Start the HTTP service (:mod:`repro.service`): synchronous ensemble
+    and comparison endpoints with micro-batching over the shared cache,
+    plus async sweep jobs backed by the durable work queue.  Configure
+    via flags or ``REPRO_SERVICE_*`` / ``REPRO_CACHE_DIR`` environment
+    variables.
 ``demo``
     The quickstart: one Best-of-Three run on a dense host with the
     Theorem 1 certificate.
@@ -183,6 +189,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="idle wait between lease attempts while others hold work",
     )
 
+    srv_p = sub.add_parser(
+        "serve", help="start the HTTP service (ensembles, comparisons, jobs)"
+    )
+    srv_p.add_argument(
+        "--host", default=None, help="bind address (default: 127.0.0.1)"
+    )
+    srv_p.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="bind port (default: 8080; 0 picks an ephemeral port)",
+    )
+    srv_p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache volume (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-sweeps)",
+    )
+    srv_p.add_argument(
+        "--cache-max-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="size bound for the result cache",
+    )
+    srv_p.add_argument(
+        "--spool-root",
+        default=None,
+        metavar="DIR",
+        help="where job spools live (default: $REPRO_SERVICE_SPOOL or "
+        "~/.cache/repro-service-jobs; must not be inside the cache)",
+    )
+    srv_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="`repro worker` subprocesses per sweep job (default: 0 — "
+        "jobs drain in service threads)",
+    )
+    srv_p.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="micro-batch coalescing window for concurrent identical "
+        "ensemble requests (default: 2)",
+    )
+
     demo_p = sub.add_parser("demo", help="one Best-of-Three run, end to end")
     demo_p.add_argument("--n", type=int, default=100_000)
     demo_p.add_argument("--delta", type=float, default=0.1)
@@ -246,24 +301,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _parse_protocol(name: str):
-    """Map a CLI protocol name to a :class:`ProtocolSpec`."""
+    """Map a CLI protocol name to a :class:`ProtocolSpec`.
+
+    The grammar lives on :meth:`ProtocolSpec.parse` so the HTTP service
+    accepts exactly the names this CLI does.
+    """
     from repro.sweeps import ProtocolSpec
 
-    if name == "voter":
-        return ProtocolSpec.best_of(1)
-    parts = name.split("-")
-    # best-of-K, best-of-K-keep, best-of-K-rand
-    if len(parts) in (3, 4) and parts[:2] == ["best", "of"] and parts[2].isdigit():
-        k = int(parts[2])
-        tie = "keep_self"
-        if len(parts) == 4:
-            if parts[3] not in ("keep", "rand"):
-                raise ValueError(f"unknown tie-rule suffix in {name!r}")
-            tie = "keep_self" if parts[3] == "keep" else "random"
-        return ProtocolSpec.best_of(k, tie_rule=tie)
-    raise ValueError(
-        f"cannot parse protocol {name!r} (try voter, best-of-3, best-of-2-rand)"
-    )
+    return ProtocolSpec.parse(name)
 
 
 def _host_spec(family: str, n: int, args: argparse.Namespace):
@@ -286,7 +331,11 @@ def _host_spec(family: str, n: int, args: argparse.Namespace):
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import json
 
-    from repro.analysis.tables import format_table
+    from repro.analysis.tables import (
+        SWEEP_SUMMARY_COLUMNS,
+        format_table,
+        sweep_summary_rows,
+    )
     from repro.io.results import ensemble_to_dict
     from repro.sweeps import (
         InitSpec,
@@ -348,38 +397,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    columns = [
-        "point",
-        "trials",
-        "converged",
-        "red wins",
-        "mean T",
-        "median T",
-        "max T",
-    ]
-    rows = [
-        {
-            "point": point.label,
-            "trials": ens.trials,
-            "converged": ens.converged,
-            "red wins": ens.red_wins,
-            "mean T": ens.mean_steps,
-            "median T": ens.median_steps,
-            "max T": ens.max_steps,
-        }
-        if not isinstance(ens, SweepError)
-        else {
-            "point": point.label,
-            "trials": "failed",
-            "converged": "—",
-            "red wins": "—",
-            "mean T": "—",
-            "median T": "—",
-            "max T": "—",
-        }
-        for point, ens in outcome
-    ]
-    print(format_table(columns, rows))
+    # The shared row builder keeps this table byte-identical to the
+    # service's job tables for the same points (GET /v1/jobs/{id}/table).
+    print(format_table(SWEEP_SUMMARY_COLUMNS, sweep_summary_rows(outcome)))
     st = outcome.stats
     where = str(cache.root) if cache is not None else "off"
     backend = f"spool={args.spool} workers={args.workers}" if args.spool else f"jobs={st.jobs}"
@@ -449,6 +469,30 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceConfig, serve
+
+    try:
+        config = ServiceConfig.from_env(
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+            cache_max_mb=args.cache_max_mb,
+            spool_root=args.spool_root,
+            job_workers=args.workers,
+            batch_window_s=(
+                args.batch_window_ms / 1000.0
+                if args.batch_window_ms is not None
+                else None
+            ),
+        )
+    except (TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    serve(config)
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro import CompleteGraph, best_of_three, check_hypotheses, random_opinions
 
@@ -477,6 +521,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "worker":
         return _cmd_worker(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "demo":
         return _cmd_demo(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

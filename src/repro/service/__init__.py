@@ -1,0 +1,64 @@
+"""Consensus-as-a-service: an HTTP API + async job queue over the engine.
+
+The service layer (DESIGN.md §2.8) exposes the library's existing
+execution stack — canonical :class:`~repro.sweeps.spec.Point` specs,
+the content-addressed :class:`~repro.sweeps.cache.SweepCache`, and the
+durable :class:`~repro.sweeps.queue.WorkQueue` — over plain HTTP, with
+no framework dependency (stdlib :mod:`http.server` only).  Composition:
+
+* :mod:`repro.service.config` — env-driven :class:`ServiceConfig`;
+* :mod:`repro.service.requests` — JSON body → canonical spec
+  validation (the cache-coherence boundary);
+* :mod:`repro.service.batcher` — :class:`MicroBatcher`, single-flight
+  coalescing of concurrent identical requests;
+* :mod:`repro.service.engine` — :class:`ServiceEngine`, the
+  cache → batcher → engine synchronous facade;
+* :mod:`repro.service.jobs` — :class:`JobManager`, async sweep grids
+  over the durable spool with worker fleets and re-attach;
+* :mod:`repro.service.app` — :class:`ServiceApp` routing, the
+  socket-free :meth:`~ServiceApp.dispatch` test surface, and the
+  ``repro serve`` entry point.
+
+Quickstart::
+
+    from repro.service import ServiceApp, ServiceConfig, make_server
+
+    app = ServiceApp(ServiceConfig(cache_dir="/tmp/cache", port=0))
+    server = make_server(app)          # port 0: ephemeral
+    # server.serve_forever(), or drive app.dispatch(...) directly
+"""
+
+from repro.service.app import Response, ServiceApp, make_server, serve
+from repro.service.batcher import MicroBatcher
+from repro.service.config import MAX_JOB_WORKERS, ServiceConfig
+from repro.service.engine import ServiceEngine
+from repro.service.jobs import JobManager, job_id_for
+from repro.service.requests import (
+    RequestError,
+    parse_compare_request,
+    parse_host,
+    parse_init,
+    parse_point_request,
+    parse_protocol,
+    parse_sweep_request,
+)
+
+__all__ = [
+    "MAX_JOB_WORKERS",
+    "MicroBatcher",
+    "JobManager",
+    "RequestError",
+    "Response",
+    "ServiceApp",
+    "ServiceConfig",
+    "ServiceEngine",
+    "job_id_for",
+    "make_server",
+    "parse_compare_request",
+    "parse_host",
+    "parse_init",
+    "parse_point_request",
+    "parse_protocol",
+    "parse_sweep_request",
+    "serve",
+]

@@ -1,0 +1,128 @@
+"""Micro-batching: coalesce concurrent identical requests into one run.
+
+The service's hot pattern is a burst of small identical ensemble
+requests — dashboards polling the same query, a notebook cell re-run by
+several users.  Executing each independently would multiply engine work
+by the burst width for zero information gain (identical canonical
+points are bit-identical by the determinism contract).  The
+:class:`MicroBatcher` turns such a burst into exactly one engine call:
+
+* requests are keyed by canonical point content
+  (:func:`~repro.sweeps.queue.queue_key` — the cache key's content
+  hash), so "identical" means *semantically* identical after request
+  canonicalisation, not textually identical JSON;
+* the first arrival for a key becomes the **leader**: it opens a
+  flight, optionally sleeps a short coalescing window so concurrent
+  followers can attach, computes, publishes the result on the flight,
+  and closes it;
+* later arrivals for the same key become **followers**: they block on
+  the flight's event and return the leader's published result without
+  touching the engine.
+
+Why identical-point-only coalescing
+-----------------------------------
+A more aggressive batcher would merge *different* seeds of the same
+(host, protocol) shape into one widened engine call.  That would break
+the library's bit-identity contract: the engine draws one dynamics
+stream across the whole replica matrix, so replicas' randomness depends
+on which other replicas share the call.  Coalescing only content-
+identical points keeps every response bit-identical to an unbatched
+run — results are indistinguishable from ``execute_point``, which the
+equivalence tests assert — while still collapsing the bursts that occur
+in practice (identical queries, which are also the only merges the
+cache could have served anyway).
+
+The flight table holds no completed entries: results are published to
+waiting followers and then the flight is dropped, because the
+:class:`~repro.sweeps.cache.SweepCache` is the durable result store.  A
+follower that loses the race (attaches after the flight closed) falls
+through to the engine facade, whose compute path re-probes the cache
+first — so it still gets the leader's cached result, not a recompute.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+from repro.sweeps.queue import queue_key
+from repro.sweeps.spec import Point
+
+__all__ = ["MicroBatcher"]
+
+
+class _Flight:
+    """One in-progress computation; followers wait on :attr:`done`."""
+
+    __slots__ = ("done", "result", "error", "followers")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self.followers = 0
+
+
+class MicroBatcher:
+    """Single-flight execution of canonical points with a join window.
+
+    *window_s* is how long a leader lingers before computing, giving a
+    concurrent burst time to attach as followers.  ``0`` disables the
+    wait (pure single-flight: only requests that arrive while the
+    computation is actually running coalesce) — the right setting for
+    tests and for deployments where added latency matters more than
+    burst absorption.
+    """
+
+    def __init__(self, window_s: float = 0.0) -> None:
+        if window_s < 0:
+            raise ValueError(f"window_s must be >= 0, got {window_s}")
+        self.window_s = window_s
+        self._lock = threading.Lock()
+        self._flights: dict[str, _Flight] = {}
+        self._coalesced = 0
+
+    @property
+    def coalesced(self) -> int:
+        """Requests served by another request's flight since startup."""
+        with self._lock:
+            return self._coalesced
+
+    def run(self, point: Point, compute: Callable[[Point], Any]) -> Any:
+        """Execute *compute(point)* at most once per concurrent burst.
+
+        The leader's exception (if any) propagates to every follower of
+        the same flight: they asked the same question, they get the same
+        answer, including a failure.
+        """
+        key = queue_key(point)
+        with self._lock:
+            flight = self._flights.get(key)
+            is_leader = flight is None
+            if is_leader:
+                flight = _Flight()
+                self._flights[key] = flight
+            else:
+                flight.followers += 1
+                self._coalesced += 1
+        if not is_leader:
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.result
+        try:
+            if self.window_s:
+                time.sleep(self.window_s)
+            flight.result = compute(point)
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            # Close the flight *before* waking followers so a request
+            # that arrives now starts a fresh flight (its compute path
+            # re-probes the cache, so no duplicate engine work).
+            with self._lock:
+                del self._flights[key]
+            flight.done.set()
+        return flight.result

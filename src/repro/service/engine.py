@@ -1,0 +1,120 @@
+"""The service's synchronous execution facade: cache → batcher → engine.
+
+One :class:`ServiceEngine` instance serves a whole ``repro serve``
+process.  Every synchronous endpoint (``/v1/ensemble``, ``/v1/compare``)
+funnels through :meth:`execute`, which layers the two service-side
+optimisations over the plain library call:
+
+1. **Cache probe** — a point already simulated (by anyone: a previous
+   request, a ``repro sweep`` run on the same cache volume, a job
+   worker) is served from the content-addressed
+   :class:`~repro.sweeps.cache.SweepCache` with zero engine work;
+2. **Single-flight micro-batching** — concurrent identical misses
+   coalesce into one engine call through the
+   :class:`~repro.service.batcher.MicroBatcher`; the computed payload
+   is written back to the cache before followers are released, so the
+   burst leaves exactly one engine call and one cache entry behind.
+
+The compute path re-probes the cache *inside* the flight: a request
+that probed (miss), then lost the race to attach to the winning flight,
+starts a new flight whose first act is finding the fresh entry — the
+probe→flight window can cost a redundant cache read, never a redundant
+simulation.
+
+All counters are monotonically increasing process-lifetime totals,
+maintained under one lock so ``/v1/stats`` reads a consistent snapshot.
+The engine holds no per-request mutable state anywhere else — the
+request path is reentrant by construction (module functions +
+per-instance locks; see also the host-memo lock in
+:mod:`repro.sweeps.runner`).
+
+``execute`` calls :func:`repro.sweeps.runner.execute_point` through the
+module attribute (``runner.execute_point``), not a bound import, so
+tests monkeypatch the runner module and the service picks it up.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from repro.service.batcher import MicroBatcher
+from repro.sweeps import runner
+from repro.sweeps.cache import SweepCache
+from repro.sweeps.spec import Point
+
+__all__ = ["ServiceEngine"]
+
+
+class ServiceEngine:
+    """Cache-fronted, burst-coalescing point executor."""
+
+    def __init__(
+        self,
+        cache: SweepCache | None = None,
+        *,
+        batch_window_s: float = 0.0,
+    ) -> None:
+        self.cache = cache if cache is not None else SweepCache()
+        self.batcher = MicroBatcher(window_s=batch_window_s)
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._cache_hits = 0
+        self._engine_calls = 0
+        self._started = time.time()
+
+    def execute(self, point: Point) -> tuple[Any, bool]:
+        """``(payload, cached)`` for one canonical point.
+
+        *cached* is true when no engine call ran on behalf of this
+        request — a direct cache hit, a follower ride on another
+        request's flight, or an in-flight re-probe hit.
+        """
+        with self._lock:
+            self._requests += 1
+        hit = self.cache.get(point)
+        if hit is not None:
+            with self._lock:
+                self._cache_hits += 1
+            return hit, True
+        engine_ran = False
+
+        def _compute(p: Point) -> Any:
+            nonlocal engine_ran
+            rehit = self.cache.get(p)
+            if rehit is not None:
+                return rehit
+            engine_ran = True
+            with self._lock:
+                self._engine_calls += 1
+            payload = runner.execute_point(p)
+            self.cache.put(p, payload)
+            return payload
+
+        payload = self.batcher.run(point, _compute)
+        if not engine_ran:
+            # Served by a follower ride or an in-flight cache re-probe;
+            # either way this request cost no simulation.
+            with self._lock:
+                self._cache_hits += 1
+        return payload, not engine_ran
+
+    def stats(self) -> dict[str, Any]:
+        """A consistent snapshot of the engine-side counters."""
+        with self._lock:
+            requests = self._requests
+            cache_hits = self._cache_hits
+            engine_calls = self._engine_calls
+            started = self._started
+        hit_rate = cache_hits / requests if requests else 0.0
+        return {
+            "requests": requests,
+            "cache_hits": cache_hits,
+            "engine_calls": engine_calls,
+            "coalesced": self.batcher.coalesced,
+            "cache_hit_rate": round(hit_rate, 4),
+            "cache_entries": self.cache.entry_count(),
+            "cache_bytes": self.cache.size_bytes(),
+            "uptime_s": round(time.time() - started, 3),
+        }

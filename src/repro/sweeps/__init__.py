@@ -78,6 +78,7 @@ from repro.sweeps.spec import (
     ProtocolSpec,
     SweepSpec,
     canonical_point,
+    count_chain_width,
     derive_point_seed,
     estimated_cost,
     host_vertex_count,
@@ -93,6 +94,7 @@ __all__ = [
     "Point",
     "SweepSpec",
     "canonical_point",
+    "count_chain_width",
     "derive_point_seed",
     "estimated_cost",
     "host_vertex_count",

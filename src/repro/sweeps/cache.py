@@ -20,7 +20,9 @@ makes partially-finished sweeps resumable: re-running the same spec
 skips every point that already landed.
 
 The default location is ``~/.cache/repro-sweeps`` (override with the
-``REPRO_SWEEP_CACHE`` environment variable or an explicit ``root``).
+``REPRO_SWEEP_CACHE`` or ``REPRO_CACHE_DIR`` environment variables — the
+former wins — or an explicit ``root``; service deployments mount a cache
+volume and point ``REPRO_CACHE_DIR`` at it).
 Payloads are either :class:`~repro.analysis.experiments.ConsensusEnsemble`
 summaries (ensemble-engine protocols) or plain JSON dicts (the extension
 protocols), dispatched by :mod:`repro.io.results`'s payload schema tags.
@@ -45,17 +47,34 @@ import repro._version
 from repro.io.results import payload_from_dict, payload_to_dict
 from repro.sweeps.spec import Point, canonical_json, canonical_point
 
-__all__ = ["CacheGCStats", "SweepCache", "default_cache_dir", "point_key"]
+__all__ = [
+    "CACHE_DIR_ENV_VAR",
+    "CACHE_ENV_VAR",
+    "CacheGCStats",
+    "SweepCache",
+    "default_cache_dir",
+    "point_key",
+]
 
 ENTRY_SCHEMA = "repro.sweep_cache/1"
 CACHE_ENV_VAR = "REPRO_SWEEP_CACHE"
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
 
 
 def default_cache_dir() -> Path:
-    """``$REPRO_SWEEP_CACHE`` if set, else ``~/.cache/repro-sweeps``."""
-    env = os.environ.get(CACHE_ENV_VAR)
-    if env:
-        return Path(env)
+    """``$REPRO_SWEEP_CACHE``, else ``$REPRO_CACHE_DIR``, else
+    ``~/.cache/repro-sweeps``.
+
+    ``REPRO_CACHE_DIR`` is the deployment-facing knob: a service
+    container mounts one cache volume and every entry point (CLI,
+    workers, the HTTP service) picks it up without threading
+    ``--cache-dir`` through each of them.  ``REPRO_SWEEP_CACHE`` remains
+    the more specific override and wins when both are set.
+    """
+    for var in (CACHE_ENV_VAR, CACHE_DIR_ENV_VAR):
+        env = os.environ.get(var)
+        if env:
+            return Path(env)
     return Path.home() / ".cache" / "repro-sweeps"
 
 
@@ -266,6 +285,10 @@ class SweepCache:
     def size_bytes(self) -> int:
         """Total bytes currently held by cache entries."""
         return sum(size for _, _, size in self._entries())
+
+    def entry_count(self) -> int:
+        """Number of entries currently on disk (the service stats view)."""
+        return len(self._entries())
 
     def gc(self, max_mb: float | None = None) -> CacheGCStats:
         """Evict least-recently-used entries until the cache fits.

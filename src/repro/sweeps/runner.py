@@ -44,6 +44,7 @@ the pre-Protocol per-trial loops.
 
 from __future__ import annotations
 
+import threading
 from functools import lru_cache
 from typing import Callable, Mapping
 
@@ -134,6 +135,19 @@ Together with :func:`repro.sweeps.hoststore.attach_count` this is the
 store should show zero worker-side builds for the shareable families.
 """
 
+_HOST_MEMO_LOCK = threading.Lock()
+"""Serialises host construction + the build counter across threads.
+
+The request path must be reentrant: the service's threaded HTTP server
+drives :func:`execute_point` from many handler threads at once, and
+without the lock two concurrent requests for the same quenched host
+would each construct their own graph (``lru_cache`` has no per-key
+locking) and tear the build counter.  Holding one lock across *all*
+constructions is deliberate — a host build is per-process setup cost,
+and per-key locking would buy parallel construction nobody needs at the
+price of a lock table.
+"""
+
 
 @lru_cache(maxsize=8)
 def _build_host_cached(host: HostSpec) -> Graph:
@@ -155,17 +169,21 @@ def build_host(host: HostSpec) -> Graph:
     A worker whose pool published *host* to the shared host store
     (:mod:`repro.sweeps.hoststore`) maps the parent's CSR arrays
     zero-copy instead of regenerating the quenched graph; everything
-    else falls back to the per-process memoised constructor.
+    else falls back to the per-process memoised constructor.  Thread
+    safe: concurrent callers (service handler threads) get the *same*
+    memoised graph object.
     """
     graph = hoststore.lookup(host)
     if graph is not None:
         return graph
-    return _build_host_cached(host)
+    with _HOST_MEMO_LOCK:
+        return _build_host_cached(host)
 
 
 def host_access_counts() -> tuple[int, int]:
     """This process's ``(from-scratch builds, shared-store attaches)``."""
-    return _HOST_BUILD_COUNT, hoststore.attach_count()
+    with _HOST_MEMO_LOCK:
+        return _HOST_BUILD_COUNT, hoststore.attach_count()
 
 
 def point_streams(point: Point, count: int) -> list[np.random.Generator]:

@@ -8,8 +8,9 @@ their points over **one** execution backend —
 2. deduplicate content-identical points across specs (two experiments
    asking for the same simulation get one computation);
 3. order the misses **largest-first** by the declared cost estimate
-   (:func:`~repro.sweeps.spec.estimated_cost`, ties broken by canonical
-   content so the order is deterministic at any ``jobs``);
+   (:func:`~repro.sweeps.spec.estimated_cost`, ties broken by host
+   size then canonical content so the order is deterministic at any
+   ``jobs``);
 4. publish the quenched CSR hosts of the pending points to a shared
    host store (:mod:`repro.sweeps.hoststore`) so pool workers attach to
    the parent's arrays instead of regenerating each graph per process;
@@ -76,6 +77,7 @@ from repro.sweeps.spec import (
     canonical_json,
     canonical_point,
     estimated_cost,
+    host_vertex_count,
 )
 
 __all__ = [
@@ -88,6 +90,7 @@ __all__ = [
     "ensure_outcome",
     "add_sweep_arguments",
     "cache_from_args",
+    "worker_env",
 ]
 
 
@@ -213,12 +216,14 @@ class SweepOutcome:
         return tuple(e for e in self.ensembles if isinstance(e, SweepError))
 
 
-def _worker_env() -> dict[str, str]:
+def worker_env() -> dict[str, str]:
     """Subprocess env with the live ``repro`` package importable.
 
     The coordinator may be running from a source tree that is not
     installed; the spawned ``repro worker`` must import the same code
-    (the cache fingerprint depends on it).
+    (the cache fingerprint depends on it).  Shared by this scheduler's
+    spool backend and the service's job manager, both of which spawn
+    ``repro worker`` fleets.
     """
     import repro
 
@@ -399,7 +404,16 @@ def run_sweeps(
     # most expensive points and backfills with cheap ones, so a straggler
     # no longer lands last on an otherwise-drained pool.  (Randomness is
     # per-point, so execution order cannot change any result.)
-    pending.sort(key=lambda content: (-estimated_cost(unique[content]), content))
+    # Chain-routed points share one cost regardless of n, so host size
+    # is the second key: among equal estimates the biggest graph still
+    # goes first (it has the most room to become a straggler).
+    pending.sort(
+        key=lambda content: (
+            -estimated_cost(unique[content]),
+            -host_vertex_count(unique[content].host),
+            content,
+        )
+    )
 
     failures: dict[str, SweepError] = {}
 
@@ -609,7 +623,7 @@ def run_sweeps(
 
     def _drive_workers(queue: WorkQueue) -> None:
         """Spawn, monitor, reap, and replace ``repro worker`` processes."""
-        env = _worker_env()
+        env = worker_env()
         respawn_budget = workers * max_attempts
         procs: dict[str, subprocess.Popen] = {}
         spawned = 0

@@ -48,6 +48,7 @@ __all__ = [
     "point_from_canonical",
     "derive_point_seed",
     "host_vertex_count",
+    "count_chain_width",
     "estimated_cost",
 ]
 
@@ -178,6 +179,33 @@ class ProtocolSpec:
     @classmethod
     def with_zealots(cls, zealots: int, *, k: int = 3) -> "ProtocolSpec":
         return cls(kind="zealot_best_of_k", k=k, zealots=int(zealots))
+
+    @classmethod
+    def parse(cls, name: str) -> "ProtocolSpec":
+        """Parse a human-facing protocol name into a spec.
+
+        The grammar shared by the ``repro sweep`` CLI and the service's
+        request layer: ``voter`` (Best-of-1), ``best-of-K``,
+        ``best-of-K-keep``, ``best-of-K-rand``.  Richer kinds (noisy,
+        zealot, paired async) have no short name — declare them as
+        structured protocol objects instead.
+        """
+        if name == "voter":
+            return cls.best_of(1)
+        parts = name.split("-")
+        # best-of-K, best-of-K-keep, best-of-K-rand
+        if len(parts) in (3, 4) and parts[:2] == ["best", "of"] and parts[2].isdigit():
+            k = int(parts[2])
+            tie = "keep_self"
+            if len(parts) == 4:
+                if parts[3] not in ("keep", "rand"):
+                    raise ValueError(f"unknown tie-rule suffix in {name!r}")
+                tie = "keep_self" if parts[3] == "keep" else "random"
+            return cls.best_of(k, tie_rule=tie)
+        raise ValueError(
+            f"cannot parse protocol {name!r} (try voter, best-of-3, "
+            "best-of-2-rand)"
+        )
 
     def build(self):
         """The executable :class:`repro.core.protocols.Protocol` of this spec.
@@ -432,15 +460,68 @@ def host_vertex_count(host: HostSpec) -> int:
     return int(params.get("n", 1))
 
 
-def estimated_cost(point: Point) -> int:
-    """Scheduling cost estimate of one point: ``n · trials · max_steps``.
+_COUNT_CHAIN_PROTOCOLS = ("best_of_k", "noisy_best_of_k", "zealot_best_of_k")
+"""Protocol kinds with an exact count-chain transition on kernel hosts.
 
-    A deliberately crude upper-bound proxy — most ensembles absorb long
-    before ``max_steps``, and count-chain hosts cost O(parts), not O(n),
-    per round — but it is monotone in every axis that can make a point a
-    straggler, which is all the largest-first submission order needs.
+Mirrors :meth:`repro.core.protocols.Protocol.supports_kernel` for the
+declared kinds (``async_vs_sync`` pairs a dense sweep chain, so it never
+chain-routes).  Kept as declared data so the cost model below needs no
+host or protocol construction.
+"""
+
+_PROTOCOL_COST_FACTORS = {
+    "best_of_k": 1,
+    "zealot_best_of_k": 1,
+    # Noisy rounds mix an extra binomial draw per slot (chain path) or an
+    # extra length-n coin-flip pass (dense path) into every transition.
+    "noisy_best_of_k": 2,
+    # Paired comparison: one synchronous chain AND one asynchronous sweep
+    # chain per trial, always on the dense path.
+    "async_vs_sync": 2,
+}
+
+
+def count_chain_width(host: HostSpec) -> int | None:
+    """Slot count of *host*'s exact count-chain kernel, or ``None``.
+
+    Read off the declared parameters (no graph construction), mirroring
+    :meth:`repro.graphs.Graph.count_chain_kernel` routing: complete
+    hosts run a 1-slot chain, complete multipartite hosts one slot per
+    part, and the two-clique bridge two clique slots plus one per bridge
+    endpoint.  ``None`` means the dense per-vertex path.
     """
-    return host_vertex_count(point.host) * point.trials * point.max_steps
+    params = host.param_dict()
+    family = host.family
+    if family == "complete":
+        return 1
+    if family == "complete_multipartite":
+        return len(tuple(params["sizes"]))
+    if family == "two_clique_bridge":
+        return 2 + 2 * int(params.get("bridges", 1))
+    return None
+
+
+def estimated_cost(point: Point) -> int:
+    """Protocol-aware scheduling cost estimate of one point.
+
+    Per-round work times ``trials · max_steps``: dense-path points pay
+    ``n`` per round per trial, count-chain-routed points (kernel host ×
+    chain-capable protocol) pay only their kernel's slot count, and the
+    protocol kind contributes a constant factor (noisy mixing, paired
+    async chains).  Still a deliberately crude upper bound — most
+    ensembles absorb long before ``max_steps`` — but it is monotone in
+    every axis that can make a point a straggler *and* no longer ranks a
+    mega-n chain point above a modest dense one, which keeps
+    largest-first submission order (and the job queue's ETAs) truthful
+    for noisy/zealot/paired points.
+    """
+    kind = point.protocol.kind
+    width = None
+    if kind in _COUNT_CHAIN_PROTOCOLS:
+        width = count_chain_width(point.host)
+    per_round = width if width is not None else host_vertex_count(point.host)
+    factor = _PROTOCOL_COST_FACTORS.get(kind, 1)
+    return per_round * factor * point.trials * point.max_steps
 
 
 @dataclass(frozen=True)

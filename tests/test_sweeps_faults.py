@@ -78,7 +78,10 @@ def _assert_outcomes_equal(a, b):
 class TestWorkQueue:
     def test_lease_is_exclusive_and_largest_first(self, tmp_path):
         with WorkQueue(tmp_path) as q:
-            small, big = _point(n=128, label="small"), _point(n=512, label="big")
+            # Both are count-chain points, so cost scales with trials,
+            # not n (protocol-aware estimated_cost).
+            small = _point(trials=3, label="small")
+            big = _point(trials=30, label="big")
             assert q.enqueue([small, big]) == 2
             first = q.lease("w1", ttl_s=60)
             second = q.lease("w2", ttl_s=60)
