@@ -20,7 +20,7 @@ from repro.core.voting_dag import VotingDAG
 from repro.dual.cobra import cobra_walk
 from repro.graphs.implicit import CompleteGraph
 from repro.harness.base import ExperimentResult
-from repro.util.rng import spawn_generators
+from repro.util.rng import as_generator, spawn_generators
 
 EXPERIMENT_ID = "E10"
 TITLE = "COBRA-walk duality of the voting-DAG (Remark 2)"
@@ -41,9 +41,12 @@ def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
     coupled_gens = spawn_generators((seed, 1), 2 * 50)
     coupled_ok = True
     for i in range(50):
+        # as_generator builds a fresh PCG64 stream per call, so the DAG
+        # and the walk replay the *same* stream — the coupling the check
+        # is about.
         ss = coupled_gens[2 * i].bit_generator.seed_seq
-        dag = VotingDAG.sample(g, root=i % n, T=T, rng=np.random.Generator(np.random.PCG64(ss)))
-        walk = cobra_walk(g, i % n, T, k=3, rng=np.random.Generator(np.random.PCG64(ss)))
+        dag = VotingDAG.sample(g, root=i % n, T=T, rng=as_generator(ss))
+        walk = cobra_walk(g, i % n, T, k=3, rng=as_generator(ss))
         if not walk.matches_dag_levels(dag):
             coupled_ok = False
 

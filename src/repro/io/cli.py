@@ -27,6 +27,11 @@ Subcommands
     plus async sweep jobs backed by the durable work queue.  Configure
     via flags or ``REPRO_SERVICE_*`` / ``REPRO_CACHE_DIR`` environment
     variables.
+``lint``
+    Run the AST-based invariant checker (:mod:`repro.lint`) over source
+    trees: RNG discipline, determinism purity, lock discipline, SQLite
+    thread affinity, and protocol-registry completeness.  Exits 0 when
+    every finding is covered by the baseline, 1 otherwise.
 ``demo``
     The quickstart: one Best-of-Three run on a dense host with the
     Theorem 1 certificate.
@@ -236,6 +241,40 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="MS",
         help="micro-batch coalescing window for concurrent identical "
         "ensemble requests (default: 2)",
+    )
+
+    lint_p = sub.add_parser(
+        "lint", help="run the AST invariant checker over source trees"
+    )
+    lint_p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint_p.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="baseline file of grandfathered findings "
+        "(default: lint-baseline.json when it exists)",
+    )
+    lint_p.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="grandfather the current findings into --baseline and exit 0",
+    )
+    lint_p.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    lint_p.add_argument(
+        "--no-hints", action="store_true", help="omit fix hints from the report"
+    )
+    lint_p.add_argument(
+        "--rules", action="store_true", help="list the rule catalogue and exit"
     )
 
     demo_p = sub.add_parser("demo", help="one Best-of-Three run, end to end")
@@ -493,6 +532,80 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.lint import (
+        apply_baseline,
+        load_baseline,
+        render_findings,
+        rule_catalog,
+        run_lint,
+        write_baseline,
+    )
+
+    if args.rules:
+        for entry in rule_catalog():
+            print(f"{entry['ids']}  [{entry['family']}]")
+            print(f"    {entry['description']}")
+        return 0
+
+    missing = [p for p in args.paths if not os.path.exists(p)]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    # Findings are recorded relative to the working directory, so the
+    # checked-in baseline stays stable across machines and checkouts.
+    findings = run_lint(args.paths, root=os.getcwd())
+
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists("lint-baseline.json"):
+        baseline_path = "lint-baseline.json"
+    if args.write_baseline:
+        if baseline_path is None:
+            baseline_path = "lint-baseline.json"
+        write_baseline(findings, baseline_path)
+        print(f"grandfathered {len(findings)} finding(s) into {baseline_path}")
+        return 0
+    baseline: list[dict[str, str]] = []
+    if baseline_path is not None and os.path.exists(baseline_path):
+        try:
+            baseline = load_baseline(baseline_path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    new, waived, stale = apply_baseline(findings, baseline)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [f.to_dict() for f in new],
+                    "waived": [f.to_dict() for f in waived],
+                    "stale_baseline": stale,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        if new:
+            print(render_findings(new, hints=not args.no_hints))
+        summary = f"{len(new)} finding(s)"
+        if waived:
+            summary += f", {len(waived)} waived by baseline"
+        if stale:
+            summary += f", {len(stale)} stale baseline entr(y/ies)"
+        print(("" if not new else "\n") + f"repro lint: {summary}")
+        for entry in stale:
+            print(
+                f"    stale: {entry['rule']} {entry['path']}: {entry['message']}"
+            )
+    return 1 if new else 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro import CompleteGraph, best_of_three, check_hypotheses, random_opinions
 
@@ -523,6 +636,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_worker(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "demo":
         return _cmd_demo(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,42 @@
+"""``repro lint`` — AST-based invariant checking for this library.
+
+The guarantees this reproduction sells — byte-identical sweeps at any
+``--jobs``, content-addressed cache/job ids, SIGKILL-safe spool drains —
+rest on coding invariants that ordinary tests cannot see: RNG
+construction confined to :mod:`repro.util.rng`, pure canonicalisation in
+every cache-key path, lock discipline in the threaded service layer, and
+thread-affine SQLite handles in the durable queue.  This subpackage is
+the static enforcement of those invariants (DESIGN.md §2.9): a small
+rule engine over Python ASTs (:mod:`repro.lint.engine`) plus the
+repo-specific rule catalogue (:mod:`repro.lint.rules`), wired into the
+CLI as ``repro lint`` and into tier-1 as a pytest gate that keeps
+``src/`` finding-free against a checked-in (empty) baseline.
+"""
+
+from repro.lint.engine import (
+    BASELINE_SCHEMA,
+    Finding,
+    SourceFile,
+    apply_baseline,
+    collect_source_files,
+    load_baseline,
+    render_findings,
+    run_lint,
+    write_baseline,
+)
+from repro.lint.rules import ALL_RULES, Rule, rule_catalog
+
+__all__ = [
+    "ALL_RULES",
+    "BASELINE_SCHEMA",
+    "Finding",
+    "Rule",
+    "SourceFile",
+    "apply_baseline",
+    "collect_source_files",
+    "load_baseline",
+    "render_findings",
+    "rule_catalog",
+    "run_lint",
+    "write_baseline",
+]

@@ -1,0 +1,252 @@
+"""The lint rule engine: collect sources, parse, run rules, baseline.
+
+Deliberately dependency-free (:mod:`ast` + :mod:`json` only) so the
+linter can run in any environment the library itself runs in — CI, a
+worker container, the pytest gate — with zero install steps.
+
+Findings and baselines
+----------------------
+A :class:`Finding` names the violated rule, the offending location, a
+one-line message, and a fix hint.  The baseline file is the escape
+hatch for *explicitly grandfathered* findings: a JSON list of
+``{rule, path, message}`` entries (line numbers excluded, so edits
+above a grandfathered site do not churn the file).  ``repro lint``
+exits non-zero only for findings **not** covered by the baseline; the
+checked-in baseline for this repository is empty and the tier-1 gate
+(``tests/test_lint.py``) keeps it that way.
+
+Paths inside findings are POSIX-relative to the lint *root* (the
+current directory for the CLI), which is what makes baseline entries
+stable across machines and checkouts.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, type-only
+    from repro.lint.rules import Rule
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "Finding",
+    "SourceFile",
+    "apply_baseline",
+    "collect_source_files",
+    "load_baseline",
+    "render_findings",
+    "run_lint",
+    "write_baseline",
+]
+
+BASELINE_SCHEMA = "repro.lint_baseline/1"
+
+PARSE_RULE = "PARSE"
+"""Pseudo-rule id for files the engine cannot parse at all."""
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    hint: str = ""
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity under the baseline: line numbers deliberately excluded."""
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """One parsed module handed to every rule."""
+
+    path: Path
+    """Absolute filesystem path."""
+    rel: str
+    """POSIX path relative to the lint root (the baseline identity)."""
+    tree: ast.Module
+
+
+def collect_source_files(
+    paths: Sequence[str | Path], *, root: str | Path
+) -> tuple[list[SourceFile], list[Finding]]:
+    """Parse every ``*.py`` under *paths*; returns ``(files, parse_findings)``.
+
+    Directories are walked recursively (``__pycache__`` and hidden
+    directories skipped); files are taken as given.  A file that fails
+    to parse becomes a :data:`PARSE_RULE` finding instead of aborting
+    the run — a linter that dies on the file most likely to be broken
+    would be useless exactly when needed.
+    """
+    root = Path(root).resolve()
+    candidates: list[Path] = []
+    for raw in paths:
+        p = Path(raw).resolve()
+        if p.is_dir():
+            candidates.extend(
+                f
+                for f in sorted(p.rglob("*.py"))
+                if not any(
+                    part == "__pycache__" or part.startswith(".")
+                    for part in f.relative_to(p).parts
+                )
+            )
+        else:
+            candidates.append(p)
+    files: list[SourceFile] = []
+    findings: list[Finding] = []
+    seen: set[Path] = set()
+    for path in candidates:
+        if path in seen:
+            continue
+        seen.add(path)
+        try:
+            rel = path.relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        except (SyntaxError, ValueError, OSError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            findings.append(
+                Finding(
+                    path=rel,
+                    line=int(line),
+                    rule=PARSE_RULE,
+                    message=f"cannot parse: {exc.__class__.__name__}: {exc}",
+                    hint="fix the syntax error; unparsable code cannot be audited",
+                )
+            )
+            continue
+        files.append(SourceFile(path=path, rel=rel, tree=tree))
+    return files, findings
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    *,
+    root: str | Path,
+    rules: "Iterable[Rule] | None" = None,
+) -> list[Finding]:
+    """Run *rules* (default: the full catalogue) over *paths*.
+
+    Returns every finding, sorted by location — baseline filtering is
+    the caller's concern (:func:`apply_baseline`), so programmatic users
+    always see the complete picture.
+    """
+    if rules is None:
+        from repro.lint.rules import ALL_RULES
+
+        rules = ALL_RULES
+    files, findings = collect_source_files(paths, root=root)
+    for rule in rules:
+        for src in files:
+            findings.extend(rule.check_file(src))
+        findings.extend(rule.check_project(files))
+    return sorted(set(findings))
+
+
+# -- baseline ---------------------------------------------------------
+
+
+def load_baseline(path: str | Path) -> list[dict[str, str]]:
+    """Grandfathered-finding entries from a baseline file.
+
+    Raises
+    ------
+    ValueError
+        If the file exists but is not a well-formed baseline — a typo'd
+        baseline silently waiving nothing (or everything) is exactly the
+        failure mode this checker exists to prevent.
+    """
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(raw, dict) or raw.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path} is not a lint baseline (expected schema "
+            f"{BASELINE_SCHEMA!r}, got {raw.get('schema') if isinstance(raw, dict) else type(raw).__name__!r})"
+        )
+    entries = raw.get("findings")
+    if not isinstance(entries, list):
+        raise ValueError(f"{path}: baseline 'findings' must be a list")
+    out = []
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict) or not {"rule", "path", "message"} <= set(entry):
+            raise ValueError(
+                f"{path}: baseline entry {i} needs rule/path/message keys"
+            )
+        out.append(
+            {
+                "rule": str(entry["rule"]),
+                "path": str(entry["path"]),
+                "message": str(entry["message"]),
+            }
+        )
+    return out
+
+
+def write_baseline(findings: Iterable[Finding], path: str | Path) -> None:
+    """Grandfather *findings* into a baseline file at *path*."""
+    entries = sorted(
+        {f.baseline_key() for f in findings}
+    )  # dedupe: identity is (rule, path, message)
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "findings": [
+            {"rule": rule, "path": rel, "message": message}
+            for rule, rel, message in entries
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Sequence[Mapping[str, str]]
+) -> tuple[list[Finding], list[Finding], list[dict[str, str]]]:
+    """Split *findings* against *baseline*: ``(new, waived, stale)``.
+
+    *new* are unwaived findings (the failures), *waived* are matched by
+    a baseline entry, *stale* are baseline entries matching nothing —
+    fixed violations whose grandfather clause should be deleted.
+    """
+    keys = {(e["rule"], e["path"], e["message"]) for e in baseline}
+    new = [f for f in findings if f.baseline_key() not in keys]
+    waived = [f for f in findings if f.baseline_key() in keys]
+    live = {f.baseline_key() for f in waived}
+    stale = [
+        {"rule": r, "path": p, "message": m}
+        for (r, p, m) in sorted(keys - live)
+    ]
+    return new, waived, stale
+
+
+def render_findings(findings: Sequence[Finding], *, hints: bool = True) -> str:
+    """Human-facing report: one ``path:line: RULE message`` per finding."""
+    lines = []
+    for f in findings:
+        lines.append(f"{f.location}: {f.rule} {f.message}")
+        if hints and f.hint:
+            lines.append(f"    hint: {f.hint}")
+    return "\n".join(lines)

@@ -52,6 +52,7 @@ from __future__ import annotations
 import hashlib
 import json
 import sqlite3
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -173,26 +174,32 @@ class WorkQueue:
         self.spool = Path(spool)
         self.spool.mkdir(parents=True, exist_ok=True)
         self.path = self.spool / DB_NAME
+        # SQLite handles are thread-affine: remember who opened this one
+        # and refuse SQL from anybody else (_execute).  Threads that need
+        # the spool open their own WorkQueue — WAL makes per-thread
+        # handles cheap.
+        self._owner_ident = threading.get_ident()
         self._conn = sqlite3.connect(self.path, timeout=60.0, isolation_level=None)
         self._conn.executescript(_SCHEMA)
         # WAL keeps readers (polling coordinators) off the writers' lock.
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
-        with self._tx() as conn:
-            stored = dict(conn.execute("SELECT name, value FROM config"))
+        with self._tx():
+            stored = dict(self._execute("SELECT name, value FROM config"))
             if stored:
                 max_attempts = int(stored["max_attempts"])
                 backoff_base_s = float(stored["backoff_base_s"])
                 backoff_cap_s = float(stored["backoff_cap_s"])
             else:
-                conn.executemany(
-                    "INSERT INTO config (name, value) VALUES (?, ?)",
-                    [
-                        ("max_attempts", str(max_attempts)),
-                        ("backoff_base_s", repr(backoff_base_s)),
-                        ("backoff_cap_s", repr(backoff_cap_s)),
-                    ],
-                )
+                for name, value in (
+                    ("max_attempts", str(max_attempts)),
+                    ("backoff_base_s", repr(backoff_base_s)),
+                    ("backoff_cap_s", repr(backoff_cap_s)),
+                ):
+                    self._execute(
+                        "INSERT INTO config (name, value) VALUES (?, ?)",
+                        (name, value),
+                    )
         self.max_attempts = max_attempts
         self.backoff_base_s = backoff_base_s
         self.backoff_cap_s = backoff_cap_s
@@ -209,23 +216,43 @@ class WorkQueue:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def _execute(self, sql: str, params: tuple = ()) -> sqlite3.Cursor:
+        """The single gate every SQL statement passes through.
+
+        Asserts the caller is the thread that opened the handle before
+        touching it: SQLite connections are thread-affine, and a handle
+        silently shared across threads corrupts leases in ways that only
+        surface under load.  (The static side of this contract is
+        enforced by ``repro lint`` rules SQL001–SQL003.)
+        """
+        ident = threading.get_ident()
+        if ident != self._owner_ident:
+            raise RuntimeError(
+                f"WorkQueue({str(self.spool)!r}) used from thread {ident}, "
+                f"but its SQLite handle belongs to thread "
+                f"{self._owner_ident}. SQLite handles are thread-affine: "
+                "open a fresh WorkQueue(spool) in the thread that needs "
+                "it (WAL makes per-thread handles cheap)."
+            )
+        return self._conn.execute(sql, params)
+
     @contextmanager
-    def _tx(self) -> Iterator[sqlite3.Connection]:
+    def _tx(self) -> Iterator[None]:
         """One serialised write transaction (the atomicity unit)."""
-        self._conn.execute("BEGIN IMMEDIATE")
+        self._execute("BEGIN IMMEDIATE")
         try:
-            yield self._conn
+            yield
         except BaseException:
-            self._conn.execute("ROLLBACK")
+            self._execute("ROLLBACK")
             raise
         else:
-            self._conn.execute("COMMIT")
+            self._execute("COMMIT")
 
     def _backoff(self, attempts: int) -> float:
         return min(self.backoff_cap_s, self.backoff_base_s * 2 ** (attempts - 1))
 
-    def _bump(self, conn: sqlite3.Connection, counter: str, by: int = 1) -> None:
-        conn.execute(
+    def _bump(self, counter: str, by: int = 1) -> None:
+        self._execute(
             "INSERT INTO counters (name, value) VALUES (?, ?) "
             "ON CONFLICT(name) DO UPDATE SET value = value + excluded.value",
             (counter, by),
@@ -244,10 +271,10 @@ class WorkQueue:
         """
         now = time.time()
         added = 0
-        with self._tx() as conn:
+        with self._tx():
             for point in points:
                 key = queue_key(point)
-                cur = conn.execute(
+                cur = self._execute(
                     "INSERT OR IGNORE INTO points "
                     "(key, content, label, cost, state, enqueued_at) "
                     "VALUES (?, ?, ?, ?, 'pending', ?)",
@@ -262,7 +289,7 @@ class WorkQueue:
                 if cur.rowcount:
                     added += 1
                     continue
-                cur = conn.execute(
+                cur = self._execute(
                     "UPDATE points SET state = 'pending', attempts = 0, "
                     "worker = NULL, lease_expires = NULL, not_before = 0, "
                     "error = NULL, completed_at = NULL, enqueued_at = ? "
@@ -284,8 +311,8 @@ class WorkQueue:
         mid-point still consumed one.
         """
         now = time.time()
-        with self._tx() as conn:
-            row = conn.execute(
+        with self._tx():
+            row = self._execute(
                 "SELECT key, content, label, attempts FROM points "
                 "WHERE state = 'pending' AND not_before <= ? "
                 "ORDER BY cost DESC, key LIMIT 1",
@@ -295,7 +322,7 @@ class WorkQueue:
                 return None
             key, content, label, attempts = row
             expires = now + ttl_s
-            conn.execute(
+            self._execute(
                 "UPDATE points SET state = 'leased', worker = ?, "
                 "lease_expires = ?, attempts = ? WHERE key = ?",
                 (worker_id, expires, attempts + 1, key),
@@ -310,8 +337,8 @@ class WorkQueue:
 
     def extend(self, key: str, worker_id: str, *, ttl_s: float) -> bool:
         """Heartbeat: push the lease deadline out (holder only)."""
-        with self._tx() as conn:
-            cur = conn.execute(
+        with self._tx():
+            cur = self._execute(
                 "UPDATE points SET lease_expires = ? "
                 "WHERE key = ? AND state = 'leased' AND worker = ?",
                 (time.time() + ttl_s, key, worker_id),
@@ -325,8 +352,8 @@ class WorkQueue:
         gets ``False``: whatever it computed is a duplicate of work now
         owned elsewhere, and the queue keeps a single completion.
         """
-        with self._tx() as conn:
-            cur = conn.execute(
+        with self._tx():
+            cur = self._execute(
                 "UPDATE points SET state = 'done', worker = NULL, "
                 "lease_expires = NULL, error = NULL, completed_at = ? "
                 "WHERE key = ? AND state = 'leased' AND worker = ?",
@@ -342,8 +369,8 @@ class WorkQueue:
         ``poisoned`` with *error* preserved for the post-mortem.
         """
         now = time.time()
-        with self._tx() as conn:
-            row = conn.execute(
+        with self._tx():
+            row = self._execute(
                 "SELECT attempts FROM points "
                 "WHERE key = ? AND state = 'leased' AND worker = ?",
                 (key, worker_id),
@@ -352,13 +379,13 @@ class WorkQueue:
                 return "stale"
             (attempts,) = row
             if attempts >= self.max_attempts:
-                conn.execute(
+                self._execute(
                     "UPDATE points SET state = 'poisoned', worker = NULL, "
                     "lease_expires = NULL, error = ? WHERE key = ?",
                     (f"after {attempts} attempt(s): {error}", key),
                 )
                 return "poisoned"
-            conn.execute(
+            self._execute(
                 "UPDATE points SET state = 'pending', worker = NULL, "
                 "lease_expires = NULL, not_before = ?, error = ? "
                 "WHERE key = ?",
@@ -372,8 +399,8 @@ class WorkQueue:
         The consumed attempt is refunded — an operator's Ctrl-C must not
         walk a healthy point toward quarantine.
         """
-        with self._tx() as conn:
-            cur = conn.execute(
+        with self._tx():
+            cur = self._execute(
                 "UPDATE points SET state = 'pending', worker = NULL, "
                 "lease_expires = NULL, not_before = 0, "
                 "attempts = MAX(attempts - 1, 0) "
@@ -384,12 +411,12 @@ class WorkQueue:
 
     # -- failure recovery ---------------------------------------------
 
-    def _reclaim(self, conn: sqlite3.Connection, rows) -> int:
+    def _reclaim(self, rows) -> int:
         """Re-queue (or quarantine) reclaimed leases; counts requeues."""
         reclaimed = 0
         for key, attempts in rows:
             if attempts >= self.max_attempts:
-                conn.execute(
+                self._execute(
                     "UPDATE points SET state = 'poisoned', worker = NULL, "
                     "lease_expires = NULL, error = ? WHERE key = ?",
                     (
@@ -400,14 +427,14 @@ class WorkQueue:
                 )
             else:
                 # Immediately leasable: the TTL already was the backoff.
-                conn.execute(
+                self._execute(
                     "UPDATE points SET state = 'pending', worker = NULL, "
                     "lease_expires = NULL, not_before = 0 WHERE key = ?",
                     (key,),
                 )
             reclaimed += 1
         if reclaimed:
-            self._bump(conn, "requeues", reclaimed)
+            self._bump("requeues", reclaimed)
         return reclaimed
 
     def requeue_expired(self, *, now: float | None = None) -> int:
@@ -420,13 +447,13 @@ class WorkQueue:
         must not circulate forever.
         """
         now = time.time() if now is None else now
-        with self._tx() as conn:
-            rows = conn.execute(
+        with self._tx():
+            rows = self._execute(
                 "SELECT key, attempts FROM points "
                 "WHERE state = 'leased' AND lease_expires < ?",
                 (now,),
             ).fetchall()
-            return self._reclaim(conn, rows)
+            return self._reclaim(rows)
 
     def release_worker(self, worker_id: str) -> int:
         """Re-queue every lease held by *worker_id* (it is known dead).
@@ -434,20 +461,20 @@ class WorkQueue:
         The coordinator calls this the moment it reaps a dead worker
         process — faster than waiting out the TTL.
         """
-        with self._tx() as conn:
-            rows = conn.execute(
+        with self._tx():
+            rows = self._execute(
                 "SELECT key, attempts FROM points "
                 "WHERE state = 'leased' AND worker = ?",
                 (worker_id,),
             ).fetchall()
-            return self._reclaim(conn, rows)
+            return self._reclaim(rows)
 
     # -- introspection ------------------------------------------------
 
     def counts(self) -> dict[str, int]:
         """Row count per state (absent states included as 0)."""
         out = dict.fromkeys(POINT_STATES, 0)
-        for state, n in self._conn.execute(
+        for state, n in self._execute(
             "SELECT state, COUNT(*) FROM points GROUP BY state"
         ):
             out[state] = n
@@ -455,7 +482,7 @@ class WorkQueue:
 
     def unfinished(self) -> int:
         """Points not yet in a terminal state (pending + leased)."""
-        (n,) = self._conn.execute(
+        (n,) = self._execute(
             "SELECT COUNT(*) FROM points WHERE state IN ('pending', 'leased')"
         ).fetchone()
         return n
@@ -464,17 +491,17 @@ class WorkQueue:
         """``key -> (state, error, attempts)`` for every row."""
         return {
             key: (state, error, attempts)
-            for key, state, error, attempts in self._conn.execute(
+            for key, state, error, attempts in self._execute(
                 "SELECT key, state, error, attempts FROM points"
             )
         }
 
     def stats(self) -> QueueStats:
         counts = self.counts()
-        (retries,) = self._conn.execute(
+        (retries,) = self._execute(
             "SELECT COALESCE(SUM(MAX(attempts - 1, 0)), 0) FROM points"
         ).fetchone()
-        row = self._conn.execute(
+        row = self._execute(
             "SELECT value FROM counters WHERE name = 'requeues'"
         ).fetchone()
         return QueueStats(
@@ -491,7 +518,7 @@ class WorkQueue:
         """``(key, label, attempts, error)`` for quarantined points."""
         return [
             (key, label, attempts, error or "")
-            for key, label, attempts, error in self._conn.execute(
+            for key, label, attempts, error in self._execute(
                 "SELECT key, label, attempts, error FROM points "
                 "WHERE state = 'poisoned' ORDER BY key"
             )

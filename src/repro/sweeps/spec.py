@@ -33,7 +33,11 @@ import hashlib
 import itertools
 import json
 from dataclasses import dataclass
-from typing import Any, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports (cycle guard)
+    from repro.core.protocols import Protocol
+    from repro.graphs.base import Graph
 
 __all__ = [
     "ADVERSARIAL_STRATEGIES",
@@ -96,7 +100,7 @@ class HostSpec:
     def param_dict(self) -> dict[str, Any]:
         return dict(self.params)
 
-    def build(self):
+    def build(self) -> "Graph":
         """Construct the host graph (delegates to the runner registry)."""
         from repro.sweeps.runner import build_host
 
@@ -207,7 +211,7 @@ class ProtocolSpec:
             "best-of-2-rand)"
         )
 
-    def build(self):
+    def build(self) -> "Protocol | dict[str, Protocol]":
         """The executable :class:`repro.core.protocols.Protocol` of this spec.
 
         ``async_vs_sync`` builds a *paired* mapping of protocols —
@@ -228,8 +232,10 @@ class ProtocolSpec:
         if self.kind == "best_of_k":
             return BestOfK(self.k, tie_rule=tie)
         if self.kind == "noisy_best_of_k":
+            assert self.eta is not None  # __post_init__ guarantees it
             return NoisyBestOfK(self.eta, k=self.k, tie_rule=tie)
         if self.kind == "zealot_best_of_k":
+            assert self.zealots is not None  # __post_init__ guarantees it
             return ZealotBestOfK(self.zealots, k=self.k, tie_rule=tie)
         if self.kind == "async_vs_sync":
             return {
@@ -558,7 +564,7 @@ class SweepSpec:
         seeds, so a repeat would re-simulate the exact same ensemble and
         masquerade as an independent replicate in the results.
         """
-        points = []
+        points: list[Point] = []
         seen: set[str] = set()
         for host, protocol, init in itertools.product(hosts, protocols, inits):
             draft = Point(

@@ -116,7 +116,7 @@ class RngStreams:
         self._children: list[np.random.SeedSequence] = []
 
     @property
-    def root_entropy(self):
+    def root_entropy(self) -> "int | Sequence[int] | None":
         """Entropy pool of the root seed sequence (replay token)."""
         return self._root.entropy
 

@@ -1,0 +1,19 @@
+"""DET001/DET002/DET003 positives inside a core/ path."""
+
+import json
+import os
+import time
+from datetime import datetime
+
+
+def stamp(payload):
+    started = time.time()  # DET001
+    day = datetime.now()  # DET001
+    salt = os.urandom(8)  # DET001
+    total = 0
+    for member in {1, 2, 3}:  # DET002
+        total += member
+    sizes = [len(str(x)) for x in set(payload)]  # DET002
+    body = json.dumps(payload)  # DET003
+    keyed = json.dumps(payload, sort_keys=False)  # DET003
+    return started, day, salt, total, sizes, body, keyed

@@ -1,0 +1,14 @@
+"""Determinism negatives: the pure idioms the rules must not flag."""
+
+import json
+
+
+def canonicalise(payload):
+    # Sorted iteration over sets is the sanctioned idiom.
+    members = [x * 2 for x in sorted(set(payload))]
+    for member in sorted({3, 1, 2}):
+        members.append(member)
+    # Membership tests on sets are order-free and fine.
+    if 3 in {1, 2, 3}:
+        members.append(0)
+    return json.dumps({"members": members}, sort_keys=True, separators=(",", ":"))

@@ -1,0 +1,10 @@
+"""Determinism negative: wall clocks are fine *outside* the scoped paths."""
+
+import json
+import time
+
+
+def measure():
+    t0 = time.time()
+    body = json.dumps({"t0": t0})  # no digest feeds off this path
+    return body

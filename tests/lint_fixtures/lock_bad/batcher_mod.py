@@ -1,0 +1,34 @@
+"""LCK001 positives: guarded state touched without the lock."""
+
+import threading
+
+_CACHE_LOCK = threading.Lock()
+_CACHE_HITS = 0
+
+
+def record_hit():
+    global _CACHE_HITS
+    with _CACHE_LOCK:
+        _CACHE_HITS += 1
+
+
+def peek_hits():
+    return _CACHE_HITS  # LCK001: read without _CACHE_LOCK
+
+
+class Batcher:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._flights = {}
+        self._count = 0
+
+    def admit(self, key, value):
+        with self._lock:
+            self._flights[key] = value
+            self._count += 1
+
+    def peek(self, key):
+        return self._flights.get(key)  # LCK001: read without self._lock
+
+    def reset(self):
+        self._count = 0  # LCK001: write without self._lock

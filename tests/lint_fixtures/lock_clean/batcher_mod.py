@@ -1,0 +1,53 @@
+"""LCK001 negatives: disciplined lock usage the rule must not flag."""
+
+import threading
+
+_MEMO_LOCK = threading.Lock()
+_MEMO = {}
+_BUILD_COUNT = 0
+
+
+def build(key, factory):
+    with _MEMO_LOCK:
+        if key not in _MEMO:
+            _MEMO[key] = _build_uncached(factory)
+        return _MEMO[key]
+
+
+def _build_uncached(factory):
+    # Writes _BUILD_COUNT while the *caller* holds _MEMO_LOCK — the
+    # runner.py pattern.  _BUILD_COUNT is never written under a lexical
+    # `with`, so the rule must not treat it as guarded state.
+    global _BUILD_COUNT
+    _BUILD_COUNT += 1
+    return factory()
+
+
+def build_counts():
+    with _MEMO_LOCK:
+        return dict(count=_BUILD_COUNT)
+
+
+class Batcher:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._flights = {}
+        self._count = 0
+        self._window = 0.002  # init-only config, read lock-free later
+
+    def admit(self, key, value):
+        with self._lock:
+            self._flights[key] = value
+            self._count += 1
+        return self._window
+
+    def pop(self, key):
+        with self._lock:
+            try:
+                return self._flights[key]
+            finally:
+                del self._flights[key]
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self._flights), self._count

@@ -1,0 +1,20 @@
+"""REG001/REG002/REG003 positives: an incomplete protocol registry."""
+
+PROTOCOL_KINDS = ("fix_alpha", "fix_ghost")
+
+_PROTOCOL_COST_FACTORS = {"fix_alpha": 1.0}  # REG002: fix_ghost missing
+
+
+class FixAlpha:  # no step_batch anywhere in its chain -> REG003
+    def summarize(self, states):
+        return {}
+
+
+class ProtocolSpec:
+    kind = "fix_alpha"
+
+    def build(self):
+        if self.kind == "fix_alpha":
+            return FixAlpha()
+        # REG001: no branch for fix_ghost
+        raise ValueError(self.kind)

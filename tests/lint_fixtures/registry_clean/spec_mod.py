@@ -1,0 +1,37 @@
+"""Registry negatives: a complete kind table (abstract base resolved)."""
+
+import abc
+
+
+PROTOCOL_KINDS = ("fix_beta", "fix_paired")
+
+_PROTOCOL_COST_FACTORS = {"fix_beta": 1.0, "fix_paired": 2.0}
+
+
+class FixProto(abc.ABC):
+    @abc.abstractmethod
+    def step_batch(self, states, rng):
+        ...
+
+    def summarize(self, states):
+        return {}
+
+
+class FixBeta(FixProto):
+    def step_batch(self, states, rng):
+        return states
+
+
+class FixGamma(FixBeta):
+    pass  # step_batch inherited through FixBeta
+
+
+class ProtocolSpec:
+    kind = "fix_beta"
+
+    def build(self):
+        if self.kind == "fix_beta":
+            return FixBeta()
+        if self.kind == "fix_paired":
+            return {"sync": FixBeta(), "async": FixGamma()}
+        raise ValueError(self.kind)

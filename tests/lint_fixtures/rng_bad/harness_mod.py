@@ -1,0 +1,11 @@
+"""RNG001 positives: direct stream construction outside util/rng.py."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def sample(seed):
+    gen = np.random.Generator(np.random.PCG64(seed))  # 2 findings
+    other = default_rng(seed)  # 1 finding
+    np.random.seed(seed)  # 1 finding
+    return gen, other

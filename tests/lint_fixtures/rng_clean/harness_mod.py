@@ -1,0 +1,15 @@
+"""RNG001 negative: consumers thread streams through util.rng helpers."""
+
+import numpy as np
+
+from repro.util.rng import as_generator, spawn_generators
+
+
+def sample(seed):
+    gen = as_generator(seed)
+    streams = spawn_generators(seed, 4)
+    # Using a generator (integers/choice/...) is fine everywhere; only
+    # *construction* is confined.
+    draw = gen.integers(0, 10)
+    arr = np.zeros(int(draw))
+    return streams, arr

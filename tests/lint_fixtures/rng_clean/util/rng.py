@@ -1,0 +1,7 @@
+"""RNG001 negative: construction inside util/rng.py is the allowed home."""
+
+import numpy as np
+
+
+def as_generator(seed):
+    return np.random.Generator(np.random.PCG64(seed))

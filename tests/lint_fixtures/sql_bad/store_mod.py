@@ -1,0 +1,19 @@
+"""SQL001/SQL002/SQL003 positives: an undisciplined SQLite owner."""
+
+import sqlite3
+
+
+class Store:  # SQL003: no threading.get_ident() assert anywhere
+    def __init__(self, path):
+        self._conn = sqlite3.connect(path)
+
+    def get(self, key):
+        # SQL002: bypasses _execute (there is none)
+        return self._conn.execute("SELECT v FROM kv WHERE k = ?", (key,)).fetchone()
+
+    def close(self):
+        self._conn.close()
+
+
+def poke(store):
+    return store._conn.execute("SELECT 1")  # SQL001: foreign handle touch

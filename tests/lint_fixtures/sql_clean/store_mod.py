@@ -1,0 +1,25 @@
+"""SQLite negatives: the disciplined owner shape (WorkQueue's)."""
+
+import sqlite3
+import threading
+
+
+class Store:
+    def __init__(self, path):
+        self._owner_ident = threading.get_ident()
+        self._conn = sqlite3.connect(path)
+
+    def _execute(self, sql, params=()):
+        if threading.get_ident() != self._owner_ident:
+            raise RuntimeError("sqlite handle is thread-affine")
+        return self._conn.execute(sql, params)
+
+    def get(self, key):
+        return self._execute("SELECT v FROM kv WHERE k = ?", (key,)).fetchone()
+
+    def close(self):
+        self._conn.close()
+
+
+def lookup(store, key):
+    return store.get(key)  # public method, not the raw handle

@@ -91,6 +91,30 @@ class TestWorkQueue:
             assert q.lease("w3", ttl_s=60) is None  # nothing left to claim
             assert q.counts()["leased"] == 2
 
+    def test_handle_is_thread_affine(self, tmp_path):
+        # SQLite handles must never cross threads (repro lint SQL001-3
+        # enforces this statically; this is the runtime backstop).
+        import threading
+
+        with WorkQueue(tmp_path) as q:
+            q.enqueue([_point()])
+            caught: list[BaseException] = []
+
+            def off_thread() -> None:
+                try:
+                    q.lease("intruder", ttl_s=60)
+                except RuntimeError as exc:
+                    caught.append(exc)
+
+            worker = threading.Thread(target=off_thread)
+            worker.start()
+            worker.join()
+            assert len(caught) == 1
+            assert "thread-affine" in str(caught[0])
+            assert "fresh WorkQueue" in str(caught[0])
+            # The owning thread is unaffected.
+            assert q.lease("w1", ttl_s=60) is not None
+
     def test_enqueue_is_idempotent_for_live_points(self, tmp_path):
         with WorkQueue(tmp_path) as q:
             point = _point()
