@@ -62,6 +62,7 @@ __all__ = [
     "bench_noisy_count_chain_vs_loop",
     "bench_zealot_count_chain_vs_loop",
     "bench_dense_gather",
+    "bench_dense_scaling",
     "bench_host_store",
 ]
 
@@ -411,6 +412,89 @@ def bench_dense_gather(*, n=2**14, replicas=50, k=3, rounds=20, seed=0):
     }
 
 
+def bench_dense_scaling(
+    *, n=2**14, replicas=64, delta=0.0, rounds=25, seed=0,
+    thread_counts=(1, 2, 4),
+):
+    """Dense-path scaling: serial vs threaded blocks vs the legacy loop.
+
+    The ISSUE 10 acceptance scenario, on the host family where the dense
+    path was the bottleneck (rook — the ``batched_vs_loop_rook`` 0.92×
+    regression).  ``delta=0`` starts every replica balanced so almost
+    nothing absorbs inside the round budget: each engine advances
+    ``replicas × rounds`` near-identical rounds, which makes the
+    throughputs directly comparable.  Records, per thread count, whole
+    runs through ``run_ensemble(threads=t)``; the serial layout
+    (``threads=0``), the pre-engine sequential loop, and the ``auto``
+    policy's routing are the baselines.  ``threaded_bit_identical``
+    asserts the layout contract (worker count never changes results) in
+    the snapshot itself, and ``kernel`` records whether the fused
+    compiled kernel (numba) or the numpy reference path ran.
+
+    CI's ``dense-scaling`` job guards this entry: best-threaded ≥ 2× the
+    serial dense path on the 4-core runner (≥ 4× when ``kernel`` is
+    ``compiled``), and ``auto`` at least as fast as the legacy loop.
+    """
+    from repro.core.dense import dense_kernel_name
+
+    graph = RookGraph(int(np.sqrt(n)))
+    n = graph.num_vertices
+    kw = dict(
+        replicas=replicas, delta=delta, seed=seed, max_steps=rounds,
+        record_trajectories=False,
+    )
+    t_loop, _ = _timed(
+        lambda: sequential_loop(
+            graph, trials=replicas, delta=delta, seed=seed, max_steps=rounds
+        )
+    )
+    t_serial, _ = _timed(
+        lambda: run_ensemble(graph, method="batched", threads=0, **kw)
+    )
+    per_thread: dict[str, dict] = {}
+    runs: dict[int, object] = {}
+    for t in thread_counts:
+        t_run, res = _timed(
+            lambda t=t: run_ensemble(graph, method="batched", threads=t, **kw)
+        )
+        runs[t] = res
+        per_thread[str(t)] = {
+            "seconds": t_run,
+            "replicas_per_sec": replicas / t_run,
+            "speedup_vs_serial": t_serial / t_run,
+            "speedup_vs_loop": t_loop / t_run,
+        }
+    base = runs[thread_counts[0]]
+    bit_identical = all(
+        np.array_equal(base.steps, runs[t].steps)
+        and np.array_equal(base.final_totals, runs[t].final_totals)
+        for t in thread_counts[1:]
+    )
+    t_auto, res_auto = _timed(lambda: run_ensemble(graph, **kw))
+    best = max(thread_counts, key=lambda t: per_thread[str(t)]["replicas_per_sec"])
+    return {
+        "host": "RookGraph",
+        "n": n,
+        "replicas": replicas,
+        "rounds": rounds,
+        "kernel": dense_kernel_name(),
+        "loop_seconds": t_loop,
+        "loop_replicas_per_sec": replicas / t_loop,
+        "serial_seconds": t_serial,
+        "serial_replicas_per_sec": replicas / t_serial,
+        "threads": per_thread,
+        "threaded_bit_identical": bit_identical,
+        "best_threads": best,
+        "best_speedup_vs_serial": per_thread[str(best)]["speedup_vs_serial"],
+        "best_speedup_vs_loop": per_thread[str(best)]["speedup_vs_loop"],
+        "auto_method": res_auto.method,
+        "auto_threads": res_auto.threads,
+        "auto_seconds": t_auto,
+        "auto_replicas_per_sec": replicas / t_auto,
+        "auto_speedup_vs_loop": t_loop / t_auto,
+    }
+
+
 def bench_host_store(*, n=2048, p=0.1, points=6, trials=4, jobs=2, seed=0):
     """Warm-pool sweep: shared host store vs per-worker regeneration.
 
@@ -497,6 +581,13 @@ def full_report():
         "dense_gather_flat_take": bench_dense_gather(
             n=2**14, replicas=50, rounds=20, seed=0
         ),
+        # replicas=96 puts R*n*k past DENSE_AUTO_THREAD_MIN_SAMPLES, so
+        # the snapshot records the auto policy actually routing to the
+        # threaded layout (auto_threads >= 1).
+        "dense_scaling_rook": bench_dense_scaling(
+            n=2**14, replicas=96, delta=0.0, rounds=25, seed=0,
+            thread_counts=(1, 2, 4),
+        ),
         "sweep_host_store": bench_host_store(
             n=2048, p=0.1, points=6, jobs=2, seed=0
         ),
@@ -543,6 +634,13 @@ def smoke_report():
         ),
         "dense_gather_flat_take": bench_dense_gather(
             n=2**12, replicas=50, rounds=20, seed=0
+        ),
+        # The dense-scaling entry keeps a real per-round workload even in
+        # smoke mode (n=2^12 x 15 rounds): the ISSUE 10 CI guard reads
+        # best_speedup_vs_serial off this entry on the 4-core runner.
+        "dense_scaling_rook": bench_dense_scaling(
+            n=2**12, replicas=48, delta=0.0, rounds=15, seed=0,
+            thread_counts=(1, 2, 4),
         ),
         "sweep_host_store": bench_host_store(
             n=1024, p=0.1, points=4, jobs=2, seed=0
@@ -620,12 +718,21 @@ def main(argv: list[str] | None = None) -> int:
     t1 = report[
         "count_chain_theorem1_1e6" if args.quick else "count_chain_theorem1_1e7"
     ]
+    ds = report["dense_scaling_rook"]
     print(
         f"\nacceptance: engine-vs-loop speedup on K_n: "
         f"{kn['engine_auto_speedup_vs_loop']:.1f}x (CI guard: >= 100x); "
         f"exact-regime Theorem 1: {t1['seconds']:.2f}s; Gaussian-regime "
         f"Theorem 1 at n=10^10: "
         f"{report['gaussian_theorem1_1e10']['seconds']:.3f}s"
+    )
+    print(
+        f"dense scaling (rook, kernel={ds['kernel']}): best "
+        f"{ds['best_speedup_vs_serial']:.2f}x vs serial at "
+        f"{ds['best_threads']} threads (CI guard on the 4-core runner: "
+        f">= 2x, >= 4x with the compiled kernel); auto vs loop: "
+        f"{ds['auto_speedup_vs_loop']:.2f}x (guard: >= 1x); "
+        f"bit-identical across thread counts: {ds['threaded_bit_identical']}"
     )
     if args.out is not None:
         out_path = Path(args.out)

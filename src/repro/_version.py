@@ -1,3 +1,3 @@
 """Single-source package version."""
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"

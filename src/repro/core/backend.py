@@ -1,0 +1,212 @@
+"""Pluggable array backend for the dense hot path (DESIGN.md §2.10).
+
+The batched dense engine (:mod:`repro.core.dense`) is a handful of array
+primitives — scratch allocation, ``take`` gathers, axis reductions,
+elementwise compares — applied to ``(R, n)`` opinion matrices.  This
+module names that contract explicitly: an :class:`ArrayBackend` bundles
+the primitives, the NumPy backend is the default (and the reference
+semantics), and a CuPy/torch backend can be dropped in later via
+:func:`register_backend` without touching the kernels — the hot-path
+modules are forbidden (lint rule BKND001) from calling ``np.`` directly.
+
+Two independent selection axes, both resolved at import time:
+
+* **array backend** — ``REPRO_ARRAY_BACKEND`` names the registered
+  backend that owns allocation and vectorised ops (default
+  ``"numpy"``; unknown names raise at first use, listing the registry).
+* **dense kernel** — ``REPRO_DENSE_KERNEL`` picks the implementation of
+  the fused gather→vote→adopt inner loop: ``"numpy"`` (the
+  always-available reference path) or ``"compiled"`` (the numba-jitted
+  fused kernel; requires numba).  Unset means auto: ``"compiled"``
+  exactly when numba imports cleanly.  The two paths are bit-identical —
+  they consume the same uniform draws in the same order — so the gate is
+  a pure throughput switch, never a semantics switch.
+
+Randomness never moves behind the backend: every draw stays on the
+caller's :class:`numpy.random.Generator` (the library-wide seed-tuple
+contract), and :meth:`ArrayBackend.uniform` exists so a device backend
+can *transfer* host draws explicitly rather than silently re-seed.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "ARRAY_BACKEND_ENV",
+    "BACKEND_OPS",
+    "DENSE_KERNEL_ENV",
+    "ArrayBackend",
+    "available_dense_kernels",
+    "compile_dense_kernel",
+    "get_backend",
+    "register_backend",
+    "select_dense_kernel",
+]
+
+ARRAY_BACKEND_ENV = "REPRO_ARRAY_BACKEND"
+DENSE_KERNEL_ENV = "REPRO_DENSE_KERNEL"
+
+BACKEND_OPS = (
+    # allocation / layout
+    "empty",
+    "empty_like",
+    "zeros",
+    "arange",
+    "asarray",
+    "ascontiguousarray",
+    "broadcast_to",
+    # data movement
+    "take",
+    "copyto",
+    # reductions / elementwise
+    "sum",
+    "add",
+    "multiply",
+    "greater",
+    "where",
+    "count_nonzero",
+    "nonzero",
+    "sort",
+    # dtype algebra
+    "can_cast",
+    "iinfo",
+)
+"""Names every backend must bind (the conformance-test contract)."""
+
+_DTYPES = ("uint8", "int32", "int64", "float64", "bool_")
+
+
+class ArrayBackend:
+    """One array namespace the dense kernels run on.
+
+    ``xp`` is the raw module (``numpy`` for the default backend) for
+    protocol-level code that wants namespace-style access; the named
+    attributes in :data:`BACKEND_OPS` plus the dtype handles are the
+    contract the hot-path modules are written against.
+    """
+
+    def __init__(self, name: str, xp) -> None:
+        self.name = name
+        self.xp = xp
+        missing = [op for op in BACKEND_OPS + _DTYPES if not hasattr(xp, op)]
+        if missing:
+            raise ValueError(
+                f"array backend {name!r} namespace lacks: {', '.join(missing)}"
+            )
+        for op in BACKEND_OPS + _DTYPES:
+            setattr(self, op, getattr(xp, op))
+
+    def uniform(self, rng: np.random.Generator, shape) -> np.ndarray:
+        """Uniform[0, 1) draws of *shape* from the caller's host stream.
+
+        Always drawn on the host generator (the seed-tuple contract);
+        a device backend overrides to transfer the draws explicitly.
+        """
+        return rng.random(shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ArrayBackend(name={self.name!r})"
+
+
+# ----------------------------------------------------------------------
+# Backend registry
+# ----------------------------------------------------------------------
+
+_FACTORIES: dict[str, Callable[[], ArrayBackend]] = {}
+_INSTANCES: dict[str, ArrayBackend] = {}
+
+
+def register_backend(name: str, factory: Callable[[], ArrayBackend]) -> None:
+    """Register *factory* under *name* (future CuPy/torch entry point)."""
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def _numpy_backend() -> ArrayBackend:
+    return ArrayBackend("numpy", np)
+
+
+register_backend("numpy", _numpy_backend)
+
+
+def get_backend(name: str | None = None) -> ArrayBackend:
+    """The active backend (``REPRO_ARRAY_BACKEND``, default numpy).
+
+    Instances are memoised per name; an unknown name raises with the
+    registry listed so a typo fails loudly at first use.
+    """
+    if name is None:
+        name = os.environ.get(ARRAY_BACKEND_ENV) or "numpy"
+    backend = _INSTANCES.get(name)
+    if backend is None:
+        factory = _FACTORIES.get(name)
+        if factory is None:
+            raise ValueError(
+                f"unknown array backend {name!r}; registered: "
+                f"{', '.join(sorted(_FACTORIES))}"
+            )
+        backend = factory()
+        _INSTANCES[name] = backend
+    return backend
+
+
+# ----------------------------------------------------------------------
+# Dense-kernel feature gate
+# ----------------------------------------------------------------------
+
+
+def _numba_njit():
+    """The ``numba.njit`` decorator, or ``None`` when numba is absent."""
+    try:
+        from numba import njit
+    except ImportError:
+        return None
+    return njit
+
+
+def available_dense_kernels() -> tuple[str, ...]:
+    """The kernels this process can actually run."""
+    return ("numpy", "compiled") if _numba_njit() else ("numpy",)
+
+
+def select_dense_kernel(requested: str | None = None) -> str:
+    """Resolve the dense-kernel gate to ``"numpy"`` or ``"compiled"``.
+
+    *requested* overrides the environment (``REPRO_DENSE_KERNEL``);
+    unset/empty means auto-select: compiled when numba is importable,
+    the reference numpy path otherwise.  Requesting ``"compiled"``
+    without numba is a hard error — a silent fallback would report
+    benchmark numbers for a path the user did not ask for.
+    """
+    if requested is None:
+        requested = os.environ.get(DENSE_KERNEL_ENV) or None
+    if requested is None:
+        return "compiled" if _numba_njit() else "numpy"
+    if requested not in ("numpy", "compiled"):
+        raise ValueError(
+            f"unknown dense kernel {requested!r} (expected 'numpy' or "
+            f"'compiled'; set via {DENSE_KERNEL_ENV})"
+        )
+    if requested == "compiled" and _numba_njit() is None:
+        raise RuntimeError(
+            f"{DENSE_KERNEL_ENV}=compiled but numba is not importable; "
+            "install numba or unset the variable for the numpy path"
+        )
+    return requested
+
+
+def compile_dense_kernel(fn: Callable) -> Callable:
+    """JIT-compile *fn* for the fused dense inner loop.
+
+    ``nogil=True`` is what lets the threaded replica-chunk dispatcher
+    scale past the GIL when the compiled kernel is active; ``cache=True``
+    amortises compilation across processes (sweep workers).
+    """
+    njit = _numba_njit()
+    if njit is None:  # pragma: no cover - exercised only without numba
+        raise RuntimeError("numba is not importable; cannot compile kernel")
+    return njit(nogil=True, cache=True)(fn)

@@ -1,0 +1,336 @@
+"""The dense-path hot loop: batched Best-of-k rounds (DESIGN.md §2.10).
+
+This module is the library's dense inner kernel, split out of
+:mod:`repro.core.ensemble` so the hot path has exactly one home and one
+discipline: **every array operation goes through the active
+:class:`~repro.core.backend.ArrayBackend`** — lint rule BKND001 forbids
+direct ``np.`` calls here, which is what keeps the path retargetable to
+CuPy/torch backends without a rewrite.
+
+Three layers live here:
+
+* :func:`step_best_of_k_batch` — one synchronous Best-of-k round for a
+  whole ``(R, n)`` batch, chunked along the replica axis so per-chunk
+  scratch stays cache-resident (moved verbatim from the pre-1.8 engine;
+  elementwise results unchanged).
+* the **fused kernel** — :func:`fused_best_of_k_chunk` performs the
+  draw-map→gather→majority-vote→adopt sequence for one chunk in a single
+  cache-resident pass over CSR hosts, consuming exactly the uniform
+  draws the numpy reference path consumes (bit-identical by
+  construction).  The same source runs two ways: numba-jitted with
+  ``nogil=True`` when the ``"compiled"`` kernel is selected
+  (``REPRO_DENSE_KERNEL``; auto-detected at import), or as plain Python
+  in the test suite's equivalence checks.
+* the **threading policy** — :func:`resolve_dense_threads` and
+  :func:`replica_blocks` decide when the engine dispatches replica
+  blocks over a thread pool and how replicas partition into blocks.
+  The partition is a pure function of the workload (never of the thread
+  count), which is what makes threaded results bit-identical for every
+  worker count ≥ 1.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.backend import (
+    compile_dense_kernel,
+    get_backend,
+    select_dense_kernel,
+)
+from repro.core.dynamics import TieRule
+from repro.core.opinions import OPINION_DTYPE
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "DEFAULT_BATCH_BYTES",
+    "DENSE_AUTO_THREAD_MIN_SAMPLES",
+    "DENSE_BLOCKS_TARGET",
+    "MAX_AUTO_THREADS",
+    "dense_kernel_name",
+    "fused_best_of_k_chunk",
+    "fused_kernel_supported",
+    "replica_blocks",
+    "resolve_dense_threads",
+    "step_best_of_k_batch",
+]
+
+DEFAULT_BATCH_BYTES = 2 * 2**20
+"""Default cap on the per-round sample-tensor footprint (bytes).
+
+The dense path chunks the replica axis so that one chunk's scratch
+(uniform draws + neighbour ids + gathered opinions, ~13 bytes per sample)
+stays under this.  Two jobs at once: it bounds peak memory at large
+``n·k·R``, and — measured, not theoretical — it keeps each chunk's
+multi-pass kernels (draw, shift, gather, reduce) cache-resident instead
+of streaming 100s of MB through DRAM per pass: a 64 MB cap is ~30× slower
+than this one on a ``(100, 2¹⁴)`` rook round.  At small ``n`` the cap is
+far above ``n·k·R`` and whole ensembles advance in one fully-vectorised
+chunk, which is where batching beats the per-trial loop outright (the
+per-call overhead regime).
+"""
+
+_BYTES_PER_SAMPLE = 13  # float64 draw (8) + int32 id (4) + uint8 gather (1)
+
+DENSE_AUTO_THREAD_MIN_SAMPLES = 1 << 22
+"""Per-round sample count ``R·n·k`` above which ``threads=None`` engages
+the threaded layout.
+
+Below it the engine keeps the legacy serial stream (small seeded runs —
+the harness grids, the goldens — stay byte-stable); above it the round
+is DRAM-bound enough that per-block streams and a thread pool win.  The
+re-tuned auto policy exists because the serial dense path measured
+*slower* than the per-trial loop on rook-like hosts
+(``batched_vs_loop_rook``, 0.92×): any workload big enough to hit that
+regime now auto-threads, and the threaded path is never slower than the
+loop.  The threshold is a pure function of the workload, so the decision
+— and therefore the result bytes — is machine-independent.
+"""
+
+DENSE_BLOCKS_TARGET = 16
+"""Minimum block count the partition aims for when ``R`` permits, so an
+``R``-replica ensemble exposes enough parallelism for every worker count
+the auto policy can pick without tying the partition to the pool size."""
+
+MAX_AUTO_THREADS = 16
+"""Cap on ``threads="auto"`` workers (diminishing returns past the
+memory bandwidth of one socket)."""
+
+
+# ----------------------------------------------------------------------
+# Threading policy
+# ----------------------------------------------------------------------
+
+
+def _auto_workers() -> int:
+    return max(1, min(os.cpu_count() or 1, MAX_AUTO_THREADS))
+
+
+def resolve_dense_threads(
+    n: int, k: int, replicas: int, threads=None
+) -> int:
+    """Resolve a ``threads`` request to a worker count.
+
+    Returns ``0`` for the legacy serial layout (one stream consumed
+    in-order, byte-identical to the pre-1.8 engine) or ``>= 1`` for the
+    threaded layout (fixed replica blocks, one spawned stream per block
+    — bit-identical for every worker count ≥ 1, so ``threads=1`` is the
+    single-worker execution of exactly what ``threads=4`` computes).
+
+    ``None`` is the auto policy: thread exactly when the per-round
+    sample count ``R·n·k`` reaches :data:`DENSE_AUTO_THREAD_MIN_SAMPLES`
+    *and* more than one core exists — a single-worker threaded layout
+    can only pay block overhead, so auto never picks it (the
+    never-slower-than-serial routing contract).  ``"auto"`` always
+    threads, with ``min(cores, MAX_AUTO_THREADS)`` workers; ``"serial"``
+    or ``0`` forces the legacy layout; an integer ≥ 1 threads with that
+    many workers.
+    """
+    if threads is None:
+        if n * k * replicas >= DENSE_AUTO_THREAD_MIN_SAMPLES:
+            workers = _auto_workers()
+            return workers if workers >= 2 else 0
+        return 0
+    if threads == "auto":
+        return _auto_workers()
+    if threads == "serial":
+        return 0
+    count = int(threads)
+    if count < 0 or (not isinstance(threads, int) and threads != count):
+        raise ValueError(
+            f"threads must be None, 'auto', 'serial', or an int >= 0; "
+            f"got {threads!r}"
+        )
+    return count
+
+
+def replica_blocks(
+    replicas: int, n: int, k: int, max_batch_bytes: int = DEFAULT_BATCH_BYTES
+) -> list[tuple[int, int]]:
+    """Deterministic ``[lo, hi)`` replica blocks for the threaded layout.
+
+    Block size is the serial path's cache-resident chunk size, further
+    split so at least :data:`DENSE_BLOCKS_TARGET` blocks exist when
+    ``R`` permits.  A pure function of the workload — thread count never
+    enters — so block → replica assignment (and with it every spawned
+    stream) is invariant under the worker count.
+    """
+    bytes_chunk = max(1, int(max_batch_bytes) // max(n * k * _BYTES_PER_SAMPLE, 1))
+    target_chunk = max(1, -(-replicas // DENSE_BLOCKS_TARGET))
+    block = max(1, min(bytes_chunk, target_chunk))
+    return [(lo, min(lo + block, replicas)) for lo in range(0, replicas, block)]
+
+
+# ----------------------------------------------------------------------
+# The fused gather→vote→adopt kernel
+# ----------------------------------------------------------------------
+
+
+def fused_best_of_k_chunk(u, deg, starts, adj, flat_ops, prev, out, lo, n, k):
+    """One chunk's draw-map→gather→vote→adopt in a single fused pass.
+
+    ``u`` is the chunk's ``(rows, n, k)`` uniform tensor — the *same*
+    draw the reference path hands to ``CSRGraph.sample_neighbors_batch``
+    — so sample ids, votes, and adopted opinions match the numpy path
+    element for element.  ``flat_ops`` is the row-major flat view of the
+    full live matrix and ``lo`` the chunk's first replica row; ``prev``
+    holds the chunk's pre-round opinions for the even-``k`` keep-self
+    tie rule.  Written in the scalar-loop style numba compiles cleanly
+    (and runs as plain Python in the equivalence tests).
+    """
+    rows = u.shape[0]
+    for r in range(rows):
+        base = (lo + r) * n
+        for v in range(n):
+            votes = 0
+            start = starts[v]
+            d = deg[v]
+            for j in range(k):
+                nb = adj[start + int(u[r, v, j] * d)]
+                votes += flat_ops[base + nb]
+            twice = 2 * votes
+            if twice > k:
+                out[r, v] = 1
+            elif twice < k:
+                out[r, v] = 0
+            else:
+                out[r, v] = prev[r, v]
+    return out
+
+
+_KERNEL_NAME = select_dense_kernel()
+_FUSED_COMPILED = (
+    compile_dense_kernel(fused_best_of_k_chunk)
+    if _KERNEL_NAME == "compiled"
+    else None
+)
+
+
+def dense_kernel_name() -> str:
+    """The kernel this process selected at import (``numpy``/``compiled``)."""
+    return _KERNEL_NAME
+
+
+def fused_kernel_supported(graph, k: int, tie_rule: TieRule) -> bool:
+    """Whether the fused kernel covers this (host, protocol) combination.
+
+    CSR hosts only (the fused loop walks ``indptr``/``indices``
+    directly), and the random tie rule is excluded: its coin flips would
+    consume extra stream the reference path draws tied-vertex-by-count,
+    breaking bit-identity.
+    """
+    from repro.graphs.csr import CSRGraph
+
+    if not isinstance(graph, CSRGraph):
+        return False
+    return k % 2 == 1 or tie_rule is TieRule.KEEP_SELF
+
+
+# ----------------------------------------------------------------------
+# Batched dense round
+# ----------------------------------------------------------------------
+
+
+def step_best_of_k_batch(
+    graph,
+    opinions,
+    k: int,
+    rng,
+    *,
+    tie_rule: TieRule = TieRule.KEEP_SELF,
+    out=None,
+    max_batch_bytes: int = DEFAULT_BATCH_BYTES,
+    kernel: str | None = None,
+):
+    """One synchronous Best-of-k round for a whole ``(R, n)`` batch.
+
+    Row ``r`` of *opinions* is one replica's opinion vector; rows advance
+    independently (each gets its own neighbour draws) but in one set of
+    vectorised kernels.  The sample tensor is processed in replica chunks
+    sized so the per-chunk scratch stays under *max_batch_bytes*.
+
+    The per-chunk gather is a flat ``take`` over the row-major opinion
+    buffer: sample ids are shifted by precomputed row offsets *in place*
+    (reusing the sample buffer as the flat-index buffer), and the
+    gathered opinions and vote counts land in scratch buffers allocated
+    once per call and reused across chunks.  When the ``"compiled"``
+    dense kernel is active and :func:`fused_kernel_supported` holds, the
+    whole chunk instead runs through the fused numba pass — consuming
+    the identical uniform draw, so results are bit-equal either way.
+    *kernel* overrides the import-time selection (tests force both).
+    """
+    B = get_backend()
+    n = graph.num_vertices
+    if opinions.ndim != 2 or opinions.shape[1] != n:
+        raise ValueError(
+            f"opinions must have shape (R, {n}), got {opinions.shape}"
+        )
+    k = check_positive_int(k, "k")
+    replicas = opinions.shape[0]
+    if out is None:
+        out = B.empty_like(opinions)
+    elif out is opinions:
+        raise ValueError("out must not alias opinions (synchronous update)")
+    elif out.shape != opinions.shape:
+        raise ValueError(
+            f"out shape {out.shape} does not match opinions {opinions.shape}"
+        )
+    kernel_name = _KERNEL_NAME if kernel is None else kernel
+    fused = kernel_name == "compiled" and fused_kernel_supported(
+        graph, k, tie_rule
+    )
+    vertices = graph.vertex_ids
+    vote_dtype = B.uint8 if k < 256 else B.int64
+    half = k // 2  # votes > half <=> strict blue majority, for any parity
+    chunk = max(1, int(max_batch_bytes) // max(n * k * _BYTES_PER_SAMPLE, 1))
+    chunk = min(chunk, replicas)
+    # Flat row-major view for the flat-take gather (copies only when the
+    # caller passed a non-contiguous matrix; the engine's buffers are
+    # contiguous).
+    flat_ops = B.ascontiguousarray(opinions).reshape(-1)
+    if fused:
+        impl = _FUSED_COMPILED if _FUSED_COMPILED is not None else fused_best_of_k_chunk
+        deg = graph.degrees
+        starts = graph.indptr
+        adj = graph.indices
+        for lo in range(0, replicas, chunk):
+            hi = min(lo + chunk, replicas)
+            u = B.uniform(rng, (hi - lo, n, k))
+            impl(
+                u, deg, starts, adj, flat_ops, opinions[lo:hi], out[lo:hi],
+                lo, n, k,
+            )
+        return out
+    # Row offsets can exceed int32 when R·n does even though ids fit.
+    offset_dtype = (
+        B.int64 if replicas * n > B.iinfo(B.int32).max else B.int32
+    )
+    gathered = B.empty((chunk, n, k), dtype=OPINION_DTYPE)
+    votes = B.empty((chunk, n), dtype=vote_dtype)
+    for lo in range(0, replicas, chunk):
+        hi = min(lo + chunk, replicas)
+        rows = hi - lo
+        samples = graph.sample_neighbors_batch(vertices, k, rng, rows)
+        offsets = B.arange(lo, hi, dtype=offset_dtype) * n
+        if B.can_cast(offset_dtype, samples.dtype):
+            samples += offsets[:, None, None].astype(samples.dtype)
+            flat_idx = samples
+        else:
+            flat_idx = samples.astype(offset_dtype)
+            flat_idx += offsets[:, None, None]
+        B.take(flat_ops, flat_idx, out=gathered[:rows])
+        B.sum(gathered[:rows], axis=2, dtype=vote_dtype, out=votes[:rows])
+        B.greater(votes[:rows], half, out=out[lo:hi])
+        if k % 2 == 0:
+            tied = votes[:rows] == half
+            if tie_rule is TieRule.KEEP_SELF:
+                out[lo:hi][tied] = opinions[lo:hi][tied]
+            elif tie_rule is TieRule.RANDOM:
+                n_tied = int(B.count_nonzero(tied))
+                if n_tied:
+                    out[lo:hi][tied] = (rng.random(n_tied) < 0.5).astype(
+                        OPINION_DTYPE
+                    )
+            else:  # pragma: no cover - exhaustiveness guard
+                raise ValueError(f"unknown tie rule {tie_rule!r}")
+    return out

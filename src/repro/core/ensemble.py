@@ -48,11 +48,18 @@ and ``tests/test_protocols.py``).
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Literal
 
 import numpy as np
 
+from repro.core.dense import (
+    DEFAULT_BATCH_BYTES,
+    replica_blocks,
+    resolve_dense_threads,
+    step_best_of_k_batch,
+)
 from repro.core.dynamics import TieRule
 from repro.core.kernels import (
     CountChainKernel,
@@ -82,24 +89,19 @@ __all__ = [
     "run_ensemble",
 ]
 
-DEFAULT_BATCH_BYTES = 2 * 2**20
-"""Default cap on the per-round sample-tensor footprint (bytes).
-
-The dense path chunks the replica axis so that one chunk's scratch
-(uniform draws + neighbour ids + gathered opinions, ~13 bytes per sample)
-stays under this.  Two jobs at once: it bounds peak memory at large
-``n·k·R``, and — measured, not theoretical — it keeps each chunk's
-multi-pass kernels (draw, shift, gather, reduce) cache-resident instead
-of streaming 100s of MB through DRAM per pass: a 64 MB cap is ~30× slower
-than this one on a ``(100, 2¹⁴)`` rook round.  At small ``n`` the cap is
-far above ``n·k·R`` and whole ensembles advance in one fully-vectorised
-chunk, which is where batching beats the per-trial loop outright (the
-per-call overhead regime).
-"""
-
-_BYTES_PER_SAMPLE = 13  # float64 draw (8) + int32 id (4) + uint8 gather (1)
+# ``DEFAULT_BATCH_BYTES`` and ``step_best_of_k_batch`` moved to
+# :mod:`repro.core.dense` in 1.8 (the backend-pure hot-path module);
+# re-exported here because the public import path predates the split.
 
 EnsembleMethod = Literal["auto", "batched", "count_chain"]
+
+ThreadsLike = int | str | None
+"""``threads`` accepts ``None`` (auto policy: thread only above the
+dense-path workload threshold), ``"auto"`` (always thread,
+``min(cores, 16)`` workers), ``"serial"``/``0`` (the legacy
+single-stream layout, byte-identical to pre-1.8 results), or an int ≥ 1
+(threaded block layout with that many workers — results are identical
+for every count ≥ 1)."""
 
 
 # ----------------------------------------------------------------------
@@ -139,6 +141,10 @@ class EnsembleResult:
         ``(R,)`` terminal blue totals (progress statistic), recorded on
         both paths — the zealot payloads read ordinary-blue counts off
         it without needing trajectories.
+    threads:
+        Dense-path worker count this run executed with (``0`` for the
+        legacy serial stream layout — always the case on the
+        count-chain path, where the engine is already O(parts)/round).
     """
 
     n: int
@@ -150,6 +156,7 @@ class EnsembleResult:
     blue_trajectories: list[np.ndarray] | None = field(default=None, repr=False)
     final_opinions: np.ndarray | None = field(default=None, repr=False)
     final_totals: np.ndarray | None = field(default=None, repr=False)
+    threads: int = 0
 
     @property
     def converged_count(self) -> int:
@@ -195,95 +202,6 @@ class EnsembleResult:
 
 
 # ----------------------------------------------------------------------
-# Batched dense round
-# ----------------------------------------------------------------------
-
-
-def step_best_of_k_batch(
-    graph: Graph,
-    opinions: np.ndarray,
-    k: int,
-    rng: np.random.Generator,
-    *,
-    tie_rule: TieRule = TieRule.KEEP_SELF,
-    out: np.ndarray | None = None,
-    max_batch_bytes: int = DEFAULT_BATCH_BYTES,
-) -> np.ndarray:
-    """One synchronous Best-of-k round for a whole ``(R, n)`` batch.
-
-    Row ``r`` of *opinions* is one replica's opinion vector; rows advance
-    independently (each gets its own neighbour draws) but in one set of
-    vectorised kernels.  The sample tensor is processed in replica chunks
-    sized so the per-chunk scratch stays under *max_batch_bytes*.
-
-    The per-chunk gather is a flat ``np.take`` over the row-major opinion
-    buffer: sample ids are shifted by precomputed row offsets *in place*
-    (reusing the sample buffer as the flat-index buffer) instead of the
-    old ``opinions[arange[:, None, None], samples]`` fancy-index path,
-    which built an advanced-indexing broadcast per chunk.  The gathered
-    opinions and vote counts land in scratch buffers allocated once per
-    call and reused across chunks.  Elementwise results are identical.
-    """
-    n = graph.num_vertices
-    if opinions.ndim != 2 or opinions.shape[1] != n:
-        raise ValueError(
-            f"opinions must have shape (R, {n}), got {opinions.shape}"
-        )
-    k = check_positive_int(k, "k")
-    replicas = opinions.shape[0]
-    if out is None:
-        out = np.empty_like(opinions)
-    elif out is opinions:
-        raise ValueError("out must not alias opinions (synchronous update)")
-    elif out.shape != opinions.shape:
-        raise ValueError(
-            f"out shape {out.shape} does not match opinions {opinions.shape}"
-        )
-    vertices = graph.vertex_ids
-    vote_dtype = np.uint8 if k < 256 else np.int64
-    half = k // 2  # votes > half <=> strict blue majority, for any parity
-    chunk = max(1, int(max_batch_bytes) // max(n * k * _BYTES_PER_SAMPLE, 1))
-    chunk = min(chunk, replicas)
-    # Flat row-major view for the np.take gather (copies only when the
-    # caller passed a non-contiguous matrix; the engine's buffers are
-    # contiguous).
-    flat_ops = np.ascontiguousarray(opinions).reshape(-1)
-    # Row offsets can exceed int32 when R·n does even though ids fit.
-    offset_dtype = (
-        np.int64 if replicas * n > np.iinfo(np.int32).max else np.int32
-    )
-    gathered = np.empty((chunk, n, k), dtype=OPINION_DTYPE)
-    votes = np.empty((chunk, n), dtype=vote_dtype)
-    for lo in range(0, replicas, chunk):
-        hi = min(lo + chunk, replicas)
-        rows = hi - lo
-        samples = graph.sample_neighbors_batch(vertices, k, rng, rows)
-        offsets = np.arange(lo, hi, dtype=offset_dtype) * n
-        if np.can_cast(offset_dtype, samples.dtype):
-            samples += offsets[:, None, None].astype(samples.dtype)
-            flat_idx = samples
-        else:
-            flat_idx = samples.astype(offset_dtype)
-            flat_idx += offsets[:, None, None]
-        np.take(flat_ops, flat_idx, out=gathered[:rows])
-        np.sum(gathered[:rows], axis=2, dtype=vote_dtype, out=votes[:rows])
-        np.greater(votes[:rows], half, out=out[lo:hi])
-        if k % 2 == 0:
-            tied = votes[:rows] == half
-            if tie_rule is TieRule.KEEP_SELF:
-                out[lo:hi][tied] = opinions[lo:hi][tied]
-            elif tie_rule is TieRule.RANDOM:
-                n_tied = int(np.count_nonzero(tied))
-                if n_tied:
-                    out[lo:hi][tied] = (rng.random(n_tied) < 0.5).astype(
-                        OPINION_DTYPE
-                    )
-            else:  # pragma: no cover - exhaustiveness guard
-                raise ValueError(f"unknown tie rule {tie_rule!r}")
-    return out
-
-
-# ----------------------------------------------------------------------
 # Engine
 # ----------------------------------------------------------------------
 
@@ -305,6 +223,7 @@ def run_ensemble(
     keep_final: bool = False,
     method: EnsembleMethod = "auto",
     max_batch_bytes: int = DEFAULT_BATCH_BYTES,
+    threads: ThreadsLike = None,
 ) -> EnsembleResult:
     """Run *replicas* independent dynamics runs as one batched simulation.
 
@@ -338,6 +257,18 @@ def run_ensemble(
     is lossless for counts, consensus times, and winners: conditioned on
     the kernel's slot counts, the host's update law does not depend on
     the placement within slots, whatever the initial condition.
+
+    ``threads`` controls the dense path only (DESIGN.md §2.10).  The
+    default ``None`` keeps the legacy serial stream for small workloads
+    (seeded results stay byte-identical to 1.7) and switches to the
+    threaded replica-block layout once the per-round sample count
+    ``R·n·k`` clears :data:`repro.core.dense.DENSE_AUTO_THREAD_MIN_SAMPLES`.
+    The threaded layout partitions replicas into fixed blocks — a pure
+    function of the workload, never of the worker count — and gives each
+    block its own spawned generator, so ``threads=1``, ``2``, and ``4``
+    produce bit-identical results (and serial vs threaded differ only in
+    stream layout: same distribution, KS-guarded in the tests).  The
+    count-chain path ignores ``threads``.
     """
     from repro.core.protocols import BestOfK
 
@@ -406,6 +337,13 @@ def run_ensemble(
         initial_blue_counts, dtype=protocol.opinion_dtype,
     )
     init_matrix = protocol.prepare_state(init_matrix)
+    k_eff = int(getattr(protocol, "k", 1))
+    workers = resolve_dense_threads(n, k_eff, replicas, threads)
+    if workers >= 1:
+        return _run_batched_threaded(
+            graph, protocol, init_matrix, rng, max_steps,
+            record_trajectories, keep_final, max_batch_bytes, workers, k_eff,
+        )
     return _run_batched(
         graph, protocol, init_matrix, rng, max_steps,
         record_trajectories, keep_final, max_batch_bytes,
@@ -685,4 +623,74 @@ def _run_batched(
         ),
         final_opinions=final,
         final_totals=final_totals,
+    )
+
+
+def _run_batched_threaded(
+    graph: Graph,
+    protocol,
+    init_matrix: np.ndarray,
+    rng: np.random.Generator,
+    max_steps: int,
+    record_trajectories: bool,
+    keep_final: bool,
+    max_batch_bytes: int,
+    workers: int,
+    k: int,
+) -> EnsembleResult:
+    """Dense path over fixed replica blocks dispatched to a thread pool.
+
+    Each block is an independent sub-ensemble — its own spawned stream,
+    its own compaction and bookkeeping — over a contiguous ``[lo, hi)``
+    row range of the initial matrix, so the merge is a concatenation in
+    block order.  The block partition and the per-block streams depend
+    only on the workload (:func:`repro.core.dense.replica_blocks`), never
+    on *workers*: any worker count ≥ 1 computes bit-identical results,
+    and the pool merely decides how many blocks advance at once.  The
+    heavy per-round kernels (uniform draw, flat take, axis reduction)
+    release the GIL inside numpy — and the whole fused pass does under
+    the compiled kernel's ``nogil=True`` — which is where the
+    multi-core scaling comes from.
+    """
+    n = graph.num_vertices
+    replicas = init_matrix.shape[0]
+    blocks = replica_blocks(replicas, n, k, max_batch_bytes)
+    gens = spawn_generators(rng, len(blocks))
+    # Touch the shared vertex-id cache once before fan-out so worker
+    # threads only read it (other per-graph protocol memos are filled by
+    # a single atomic tuple assignment — benign if two blocks race).
+    _ = graph.vertex_ids
+
+    def run_block(i: int) -> EnsembleResult:
+        lo, hi = blocks[i]
+        return _run_batched(
+            graph, protocol, init_matrix[lo:hi], gens[i], max_steps,
+            record_trajectories, keep_final, max_batch_bytes,
+        )
+
+    if workers == 1 or len(blocks) == 1:
+        parts = [run_block(i) for i in range(len(blocks))]
+    else:
+        with ThreadPoolExecutor(
+            max_workers=min(workers, len(blocks))
+        ) as pool:
+            parts = list(pool.map(run_block, range(len(blocks))))
+    traj: list[np.ndarray] | None = None
+    if record_trajectories:
+        traj = [t for part in parts for t in part.blue_trajectories]
+    return EnsembleResult(
+        n=n,
+        replicas=replicas,
+        steps=np.concatenate([p.steps for p in parts]),
+        winners=np.concatenate([p.winners for p in parts]),
+        converged=np.concatenate([p.converged for p in parts]),
+        method="batched",
+        blue_trajectories=traj,
+        final_opinions=(
+            np.concatenate([p.final_opinions for p in parts])
+            if keep_final
+            else None
+        ),
+        final_totals=np.concatenate([p.final_totals for p in parts]),
+        threads=workers,
     )

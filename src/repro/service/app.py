@@ -185,6 +185,25 @@ class ServiceApp:
 
     # -- handlers ------------------------------------------------------
 
+    def _with_engine_threads(self, point):
+        """Apply the service's dense-thread default to an unpinned point.
+
+        A request whose protocol pins ``threads`` wins; otherwise the
+        config's ``engine_threads`` (``REPRO_SERVICE_THREADS``) is
+        stamped into the point *before* caching/queueing, because the
+        thread layout is part of the result bytes — two layouts must not
+        share a cache entry.
+        """
+        default = self.config.engine_threads
+        if default is None or point.protocol.threads is not None:
+            return point
+        import dataclasses
+
+        return dataclasses.replace(
+            point,
+            protocol=dataclasses.replace(point.protocol, threads=default),
+        )
+
     def _health(self, match, query, body) -> Response:
         return Response(
             200,
@@ -199,7 +218,7 @@ class ServiceApp:
         return Response(200, stats)
 
     def _ensemble(self, match, query, body) -> Response:
-        point = parse_point_request(body)
+        point = self._with_engine_threads(parse_point_request(body))
         payload, cached = self.engine.execute(point)
         (row,) = sweep_summary_rows([(point, payload)])
         return Response(
@@ -213,7 +232,9 @@ class ServiceApp:
         )
 
     def _compare(self, match, query, body) -> Response:
-        points = parse_compare_request(body)
+        points = [
+            self._with_engine_threads(p) for p in parse_compare_request(body)
+        ]
         pairs = []
         cached_flags = []
         for point in points:
@@ -238,6 +259,15 @@ class ServiceApp:
 
     def _submit_sweep(self, match, query, body) -> Response:
         spec = parse_sweep_request(body)
+        if self.config.engine_threads is not None:
+            import dataclasses
+
+            spec = dataclasses.replace(
+                spec,
+                points=tuple(
+                    self._with_engine_threads(p) for p in spec.points
+                ),
+            )
         job_id, created = self.jobs.submit(spec)
         status = self.jobs.status(job_id)
         return Response(

@@ -1,0 +1,10 @@
+"""Planted BKND001 violations: direct numpy inside core/dense.py."""
+
+import numpy as np
+from numpy import take
+
+
+def gather_votes(flat_ops, idx, out):
+    gathered = np.take(flat_ops, idx)
+    votes = np.sum(gathered, axis=2)
+    return take(votes, out)

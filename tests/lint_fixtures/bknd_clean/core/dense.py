@@ -1,0 +1,9 @@
+"""Backend-pure control: every array op rides the ArrayBackend."""
+
+from repro.core.backend import get_backend
+
+
+def gather_votes(flat_ops, idx, out):
+    B = get_backend()
+    gathered = B.take(flat_ops, idx)
+    return B.sum(gathered, axis=2, dtype=B.uint8, out=out)

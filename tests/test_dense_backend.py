@@ -1,0 +1,461 @@
+"""Dense-path acceleration: threading, fused kernel, array backend (ISSUE 10).
+
+Load-bearing claims:
+
+1. **thread-count invariance** — the threaded replica-block layout is a
+   pure function of the workload, so ``threads=1/2/4`` produce
+   bit-identical :class:`EnsembleResult` values (steps, winners,
+   trajectories, final opinions) for every protocol family;
+2. **serial compatibility** — ``threads=0``/``"serial"`` and the
+   default auto policy below the workload threshold reproduce the
+   pre-1.8 single-stream results byte-for-byte (goldens stay valid),
+   and serial vs threaded agree in distribution (KS);
+3. **kernel equivalence** — the fused gather→vote→adopt chunk kernel
+   consumes exactly the uniform draws the numpy reference path consumes
+   and matches it bit-for-bit (as plain Python always; numba-jitted when
+   numba is present);
+4. **backend conformance** — the numpy :class:`ArrayBackend` binds the
+   full ``BACKEND_OPS`` contract, the registry/env selection behaves,
+   and the feature gate (``REPRO_DENSE_KERNEL``) hard-fails rather than
+   silently substituting a path;
+5. **auto-routing** (the ``engine_auto`` satellite) — ``method="auto"``
+   routes exchangeable hosts to their count chain as before, and dense
+   hosts thread exactly when the per-round sample count crosses
+   :data:`DENSE_AUTO_THREAD_MIN_SAMPLES`, so auto never runs the dense
+   layout measured slower than the legacy loop on big hosts;
+6. **spec plumbing** — ``ProtocolSpec.threads`` validates, enters the
+   canonical content only when set (pre-1.8 cache keys stable), and
+   round-trips through ``point_from_canonical``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core import backend as backend_mod
+from repro.core import dense
+from repro.core.backend import (
+    BACKEND_OPS,
+    ArrayBackend,
+    available_dense_kernels,
+    get_backend,
+    register_backend,
+    select_dense_kernel,
+)
+from repro.core.dense import (
+    DENSE_AUTO_THREAD_MIN_SAMPLES,
+    fused_best_of_k_chunk,
+    fused_kernel_supported,
+    replica_blocks,
+    resolve_dense_threads,
+    step_best_of_k_batch,
+)
+from repro.core.dynamics import TieRule
+from repro.core.ensemble import run_ensemble
+from repro.core.protocols import BestOfK, NoisyBestOfK, ZealotBestOfK
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.implicit import CompleteGraph
+from repro.sweeps.spec import (
+    HostSpec,
+    InitSpec,
+    Point,
+    ProtocolSpec,
+    canonical_point,
+    point_from_canonical,
+)
+from repro.util.rng import as_generator
+
+KS_ALPHA = 1e-3  # deterministic seeds: failures mean real drift, not noise
+
+HAVE_NUMBA = "compiled" in available_dense_kernels()
+
+SMALL_BATCH = 4096  # forces many replica blocks on the test hosts
+
+
+@pytest.fixture(scope="module")
+def er_host():
+    return erdos_renyi(300, 0.08, seed=7)
+
+
+def result_fields(res):
+    return (
+        res.steps,
+        res.winners,
+        res.converged,
+        res.final_totals,
+    )
+
+
+def assert_results_equal(a, b):
+    for x, y in zip(result_fields(a), result_fields(b)):
+        assert np.array_equal(x, y)
+    assert (a.blue_trajectories is None) == (b.blue_trajectories is None)
+    if a.blue_trajectories is not None:
+        assert len(a.blue_trajectories) == len(b.blue_trajectories)
+        for ta, tb in zip(a.blue_trajectories, b.blue_trajectories):
+            assert np.array_equal(ta, tb)
+    assert (a.final_opinions is None) == (b.final_opinions is None)
+    if a.final_opinions is not None:
+        assert np.array_equal(a.final_opinions, b.final_opinions)
+
+
+# -- 1. thread-count invariance ----------------------------------------
+
+
+class TestThreadCountInvariance:
+    def run(self, er_host, threads, **kw):
+        return run_ensemble(
+            er_host,
+            replicas=48,
+            k=3,
+            seed=101,
+            delta=0.12,
+            max_steps=400,
+            threads=threads,
+            max_batch_bytes=SMALL_BATCH,
+            **kw,
+        )
+
+    def test_bit_identical_across_1_2_4(self, er_host):
+        base = self.run(er_host, 1)
+        assert base.threads == 1
+        for t in (2, 4):
+            res = self.run(er_host, t)
+            assert res.threads == t
+            assert_results_equal(base, res)
+
+    def test_auto_string_matches_explicit_counts(self, er_host):
+        assert_results_equal(self.run(er_host, 1), self.run(er_host, "auto"))
+
+    def test_keep_final_opinions_identical(self, er_host):
+        a = self.run(er_host, 1, keep_final=True)
+        b = self.run(er_host, 4, keep_final=True)
+        assert a.final_opinions is not None
+        assert_results_equal(a, b)
+
+    @pytest.mark.parametrize(
+        "protocol",
+        [
+            BestOfK(4, tie_rule=TieRule.KEEP_SELF),
+            NoisyBestOfK(0.05, k=3),
+            ZealotBestOfK(10, k=3),
+        ],
+        ids=["even-k-keep", "noisy", "zealot"],
+    )
+    def test_protocol_families_thread_identically(self, er_host, protocol):
+        runs = [
+            run_ensemble(
+                er_host,
+                replicas=32,
+                protocol=protocol,
+                seed=55,
+                delta=0.1,
+                max_steps=300,
+                threads=t,
+                max_batch_bytes=SMALL_BATCH,
+            )
+            for t in (1, 3)
+        ]
+        assert_results_equal(runs[0], runs[1])
+
+
+# -- 2. serial compatibility + distribution equivalence ----------------
+
+
+class TestSerialCompatibility:
+    def test_small_workload_auto_is_serial(self, er_host):
+        auto = run_ensemble(
+            er_host, replicas=20, k=3, seed=9, delta=0.1, max_steps=200
+        )
+        serial = run_ensemble(
+            er_host,
+            replicas=20,
+            k=3,
+            seed=9,
+            delta=0.1,
+            max_steps=200,
+            threads=0,
+        )
+        assert auto.threads == 0 and serial.threads == 0
+        assert_results_equal(auto, serial)
+
+    def test_serial_string_equals_zero(self, er_host):
+        a = run_ensemble(
+            er_host, replicas=12, k=3, seed=3, delta=0.1, threads="serial"
+        )
+        b = run_ensemble(
+            er_host, replicas=12, k=3, seed=3, delta=0.1, threads=0
+        )
+        assert_results_equal(a, b)
+
+    def test_serial_vs_threaded_ks_equivalent(self, er_host):
+        # Different stream layouts, same dynamics: consensus times and
+        # win rates must agree in distribution.
+        kw = dict(replicas=400, k=3, delta=0.1, max_steps=500,
+                  record_trajectories=False)
+        serial = run_ensemble(er_host, seed=17, threads=0, **kw)
+        threaded = run_ensemble(
+            er_host, seed=17, threads=2, max_batch_bytes=SMALL_BATCH, **kw
+        )
+        assert serial.converged.all() and threaded.converged.all()
+        assert (
+            stats.ks_2samp(serial.steps, threaded.steps).pvalue > KS_ALPHA
+        )
+        blue_gap = abs(
+            serial.blue_wins / serial.replicas
+            - threaded.blue_wins / threaded.replicas
+        )
+        assert blue_gap < 0.1
+
+
+# -- 3. fused-kernel equivalence ---------------------------------------
+
+
+def reference_and_fused(graph, ops, k, seed, impl):
+    ref = step_best_of_k_batch(
+        graph, ops, k, as_generator(seed), kernel="numpy"
+    )
+    rng = as_generator(seed)
+    n = graph.num_vertices
+    u = rng.random((ops.shape[0], n, k))
+    out = np.empty_like(ops)
+    impl(
+        u,
+        graph.degrees,
+        graph.indptr,
+        graph.indices,
+        np.ascontiguousarray(ops).reshape(-1),
+        ops,
+        out,
+        0,
+        n,
+        k,
+    )
+    return ref, out
+
+
+class TestFusedKernel:
+    @pytest.mark.parametrize("k", [1, 3, 4, 5])
+    def test_python_fused_is_bit_identical(self, er_host, k):
+        rng = as_generator(2024)
+        ops = (rng.random((16, er_host.num_vertices)) < 0.45).astype(np.uint8)
+        ref, out = reference_and_fused(
+            er_host, ops, k, 77, fused_best_of_k_chunk
+        )
+        assert np.array_equal(ref, out)
+
+    @pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+    def test_compiled_fused_is_bit_identical(self, er_host):
+        from repro.core.backend import compile_dense_kernel
+
+        compiled = compile_dense_kernel(fused_best_of_k_chunk)
+        rng = as_generator(4)
+        ops = (rng.random((12, er_host.num_vertices)) < 0.5).astype(np.uint8)
+        for k in (3, 4):
+            ref, out = reference_and_fused(er_host, ops, k, 31, compiled)
+            assert np.array_equal(ref, out)
+
+    @pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+    def test_compiled_step_matches_numpy_step(self, er_host):
+        rng_a = as_generator(88)
+        rng_b = as_generator(88)
+        ops = (as_generator(1).random((20, er_host.num_vertices)) < 0.4).astype(
+            np.uint8
+        )
+        a = step_best_of_k_batch(er_host, ops, 3, rng_a, kernel="numpy")
+        b = step_best_of_k_batch(er_host, ops, 3, rng_b, kernel="compiled")
+        assert np.array_equal(a, b)
+
+    def test_support_gate(self, er_host):
+        assert fused_kernel_supported(er_host, 3, TieRule.RANDOM)
+        assert fused_kernel_supported(er_host, 4, TieRule.KEEP_SELF)
+        # random ties at even k would consume extra stream: excluded.
+        assert not fused_kernel_supported(er_host, 4, TieRule.RANDOM)
+        assert not fused_kernel_supported(CompleteGraph(64), 3, TieRule.KEEP_SELF)
+
+
+# -- 4. backend conformance + feature gate -----------------------------
+
+
+class TestBackendConformance:
+    def test_numpy_backend_binds_full_contract(self):
+        B = get_backend("numpy")
+        for op in BACKEND_OPS:
+            assert callable(getattr(B, op)), op
+        assert B.uint8 is np.uint8 and B.int64 is np.int64
+        assert B.xp is np
+
+    def test_uniform_draws_on_caller_stream(self):
+        B = get_backend("numpy")
+        assert np.array_equal(
+            B.uniform(as_generator(5), (3, 2)), as_generator(5).random((3, 2))
+        )
+
+    def test_incomplete_namespace_rejected(self):
+        class Hollow:
+            uint8 = np.uint8
+
+        with pytest.raises(ValueError, match="lacks"):
+            ArrayBackend("hollow", Hollow())
+
+    def test_unknown_backend_lists_registry(self):
+        with pytest.raises(ValueError, match="numpy"):
+            get_backend("cupy-not-registered")
+
+    def test_register_and_env_selection(self, monkeypatch):
+        register_backend("numpy-alias", lambda: ArrayBackend("numpy-alias", np))
+        try:
+            monkeypatch.setenv(backend_mod.ARRAY_BACKEND_ENV, "numpy-alias")
+            assert get_backend().name == "numpy-alias"
+        finally:
+            backend_mod._FACTORIES.pop("numpy-alias", None)
+            backend_mod._INSTANCES.pop("numpy-alias", None)
+
+    def test_kernel_gate_grammar(self, monkeypatch):
+        assert select_dense_kernel("numpy") == "numpy"
+        with pytest.raises(ValueError, match="unknown dense kernel"):
+            select_dense_kernel("cython")
+        monkeypatch.setenv(backend_mod.DENSE_KERNEL_ENV, "numpy")
+        assert select_dense_kernel() == "numpy"
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="numba present: compiled is valid")
+    def test_compiled_without_numba_is_hard_error(self):
+        with pytest.raises(RuntimeError, match="numba"):
+            select_dense_kernel("compiled")
+
+    def test_auto_matches_numba_availability(self):
+        expected = "compiled" if HAVE_NUMBA else "numpy"
+        assert select_dense_kernel(None) in available_dense_kernels()
+        assert dense.dense_kernel_name() == select_dense_kernel(None) == expected
+
+    def test_step_batch_runs_on_active_backend(self, er_host):
+        # The protocol step drives the hot path end to end through the
+        # backend namespace (the conformance smoke for BKND001's point).
+        ops = (as_generator(6).random((8, er_host.num_vertices)) < 0.5).astype(
+            np.uint8
+        )
+        out = BestOfK(3).step_batch(er_host, ops, as_generator(7))
+        assert out.shape == ops.shape and out.dtype == ops.dtype
+
+
+# -- 5. threading policy + auto-routing pin ----------------------------
+
+
+class TestThreadPolicy:
+    def test_resolve_grammar(self):
+        assert resolve_dense_threads(100, 3, 10, 0) == 0
+        assert resolve_dense_threads(100, 3, 10, "serial") == 0
+        assert resolve_dense_threads(100, 3, 10, 5) == 5
+        assert resolve_dense_threads(100, 3, 10, "auto") >= 1
+        with pytest.raises(ValueError):
+            resolve_dense_threads(100, 3, 10, -2)
+        with pytest.raises(ValueError):
+            resolve_dense_threads(100, 3, 10, "fast")
+
+    def test_auto_policy_thresholds_on_samples(self, monkeypatch):
+        # R·n·k below the threshold: serial; at/above: threaded.  Pin a
+        # multi-core host — on a 1-core box auto never threads at all.
+        monkeypatch.setattr(dense, "_auto_workers", lambda: 4)
+        n, k = 4096, 3
+        small_r = (DENSE_AUTO_THREAD_MIN_SAMPLES // (n * k)) - 1
+        big_r = (DENSE_AUTO_THREAD_MIN_SAMPLES // (n * k)) + 1
+        assert resolve_dense_threads(n, k, small_r, None) == 0
+        assert resolve_dense_threads(n, k, big_r, None) == 4
+
+    def test_auto_policy_stays_serial_on_one_core(self, monkeypatch):
+        # A 1-worker threaded layout only pays block overhead, so the
+        # auto policy must refuse it even past the sample threshold
+        # (the never-slower-than-serial routing contract).  Explicit
+        # requests still win: the user asked for the threaded layout.
+        monkeypatch.setattr(dense, "_auto_workers", lambda: 1)
+        n, k = 4096, 3
+        big_r = (DENSE_AUTO_THREAD_MIN_SAMPLES // (n * k)) + 1
+        assert resolve_dense_threads(n, k, big_r, None) == 0
+        assert resolve_dense_threads(n, k, big_r, "auto") == 1
+        assert resolve_dense_threads(n, k, big_r, 1) == 1
+
+    def test_blocks_cover_and_ignore_thread_count(self):
+        blocks = replica_blocks(100, 300, 3, SMALL_BATCH)
+        assert blocks[0][0] == 0 and blocks[-1][1] == 100
+        assert all(lo < hi for lo, hi in blocks)
+        flat = [r for lo, hi in blocks for r in range(lo, hi)]
+        assert flat == list(range(100))
+        # pure function of the workload: same args, same partition
+        assert blocks == replica_blocks(100, 300, 3, SMALL_BATCH)
+        assert len(blocks) >= dense.DENSE_BLOCKS_TARGET
+
+    def test_auto_routing_pins(self, er_host, monkeypatch):
+        # Pin a multi-core host so the threaded regime is reachable.
+        monkeypatch.setattr(dense, "_auto_workers", lambda: 2)
+        # Exchangeable host: count chain, as ever.
+        chain = run_ensemble(
+            CompleteGraph(512), replicas=8, k=3, seed=1, delta=0.1
+        )
+        assert chain.method == "count_chain" and chain.threads == 0
+        # Dense host, small workload: batched + legacy serial stream.
+        small = run_ensemble(er_host, replicas=8, k=3, seed=1, delta=0.1)
+        assert small.method == "batched" and small.threads == 0
+        # Dense host, workload past the threshold: batched + threaded —
+        # the re-tuned auto policy that retires the 0.92×-of-loop regime.
+        big_r = DENSE_AUTO_THREAD_MIN_SAMPLES // (er_host.num_vertices * 3) + 1
+        big = run_ensemble(
+            er_host,
+            replicas=big_r,
+            k=3,
+            seed=1,
+            delta=0.1,
+            max_steps=3,
+            record_trajectories=False,
+        )
+        assert big.method == "batched" and big.threads >= 1
+
+
+# -- 6. spec plumbing --------------------------------------------------
+
+
+class TestSpecPlumbing:
+    def point(self, spec):
+        return Point(
+            host=HostSpec.of("complete", n=64),
+            protocol=spec,
+            init=InitSpec.iid(0.1),
+            trials=4,
+            max_steps=50,
+            seed=(1,),
+        )
+
+    def test_threads_validation(self):
+        for ok in (None, 0, 1, 8, "auto", "serial"):
+            assert ProtocolSpec(threads=ok).threads == ok
+        for bad in (-1, 2.5, True, "fast"):
+            with pytest.raises(ValueError):
+                ProtocolSpec(threads=bad)
+
+    def test_canonical_only_when_set_and_round_trips(self):
+        bare = canonical_point(self.point(ProtocolSpec()))
+        assert "threads" not in bare["protocol"]
+        p = self.point(ProtocolSpec(threads="auto"))
+        content = canonical_point(p)
+        assert content["protocol"]["threads"] == "auto"
+        assert point_from_canonical(content) == dataclasses.replace(p)
+
+    def test_service_config_grammar(self, monkeypatch):
+        from repro.service.config import ServiceConfig
+
+        monkeypatch.setenv("REPRO_SERVICE_THREADS", "serial")
+        assert ServiceConfig.from_env().engine_threads == "serial"
+        monkeypatch.setenv("REPRO_SERVICE_THREADS", "3")
+        assert ServiceConfig.from_env().engine_threads == 3
+        with pytest.raises(ValueError, match="engine_threads"):
+            ServiceConfig(engine_threads="fast")
+
+    def test_request_layer_accepts_threads(self):
+        from repro.service.requests import RequestError, parse_protocol
+
+        assert parse_protocol({"kind": "best_of_k", "threads": 2}).threads == 2
+        with pytest.raises(RequestError):
+            parse_protocol({"kind": "best_of_k", "threads": "warp"})
